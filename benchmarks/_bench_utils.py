@@ -1,0 +1,8 @@
+"""Helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Execute ``fn`` once under the benchmark timer; return its result."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

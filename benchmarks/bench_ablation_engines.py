@@ -1,0 +1,61 @@
+"""Ablation — convergence speed of the adaptation engines.
+
+The paper's §6 mentions "enhanced filtering methods known to converge
+faster" for tracking scenarios.  This bench races the library's four
+engines on strongly colored input (the hard case for stochastic
+gradient; speech is colored):
+
+* NLMS — the LANC default: cheapest, slowest on colored input;
+* APA (order 4) — projects away the coloration, big speedup at modest
+  cost;
+* RLS — near-instant convergence at O(M²);
+* and the settle-time cost of plain LMS appears in
+  ``bench_ablation_adaptive``'s level-robustness table.
+"""
+
+import numpy as np
+from _bench_utils import run_once
+from scipy import signal as sps
+
+from repro.core import ApaFilter, LmsFilter, RlsFilter
+from repro.eval.reporting import format_table
+
+
+def run_race(seed=0, T=6000, pole=0.95):
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal(24) * 0.3
+    x = sps.lfilter([1.0], [1.0, -pole], rng.standard_normal(T))
+    d = np.convolve(x, h)[:T]
+    threshold = 0.05 * np.sqrt(np.mean(d ** 2))
+
+    def settle(errors):
+        above = np.flatnonzero(np.abs(errors) >= threshold)
+        return int(above[-1] + 1) if above.size else 0
+
+    engines = {
+        "NLMS (mu=0.5)": LmsFilter(24, mu=0.5),
+        "APA order 4": ApaFilter(24, order=4, mu=0.5),
+        "APA order 8": ApaFilter(24, order=8, mu=0.5),
+        "RLS": RlsFilter(24),
+    }
+    rows = []
+    settles = {}
+    for label, engine in engines.items():
+        result = engine.run(x, d)
+        settles[label] = settle(result.error)
+        rows.append((label, settles[label],
+                     f"{np.sqrt(np.mean(result.error[-1000:] ** 2)):.5f}"))
+    table = format_table(
+        ["engine", "settle (samples to -26 dB)", "steady residual RMS"],
+        rows,
+        title="Ablation — adaptation engines on colored input",
+    )
+    return table, settles
+
+
+def test_engine_race(benchmark, report):
+    table, settles = run_once(benchmark, run_race)
+    report(table)
+
+    assert settles["APA order 4"] < 0.3 * settles["NLMS (mu=0.5)"]
+    assert settles["RLS"] <= settles["APA order 4"]

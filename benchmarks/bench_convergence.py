@@ -1,0 +1,16 @@
+"""Figures 7-8 — convergence timelines (hum, speech, speech+switching)."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_convergence
+
+
+def test_convergence_timelines(benchmark, report):
+    result = run_once(benchmark, run_convergence, duration_s=12.0, seed=41)
+    report(result.report())
+
+    # (8a) persistent hum: converges and stays converged.
+    assert result.steady_hum_rms < 0.5 * result.initial_hum_rms
+    # (8b) vs (8c): predictive switching shrinks the onset spikes.
+    assert result.onset_spike_switching < result.onset_spike_single
+    assert result.spike_reduction_db() < -0.5

@@ -1,0 +1,71 @@
+"""Extension — RF coexistence and privacy envelopes (paper §4.4, §6).
+
+Two tables the paper argues in prose, made quantitative:
+
+* channel allocation and carrier-sense contention for co-located relays;
+* power control and the resulting eavesdropping (leakage) radius.
+"""
+
+from _bench_utils import run_once
+
+from repro.eval.reporting import format_table
+from repro.wireless import (
+    CarrierSenseModel,
+    allocate_channels,
+    leakage_radius_m,
+    max_colocated_relays,
+    minimum_tx_power_dbm,
+    received_audio_snr_db,
+)
+
+
+def run_tables():
+    # --- coexistence -------------------------------------------------
+    capacity = max_colocated_relays(32000.0)
+    rows = []
+    for n in (2, 5, 10, 30):
+        model = CarrierSenseModel(n_relays=n, activity=0.5)
+        rows.append((
+            n,
+            f"{model.collision_probability:.3f}",
+            f"{model.goodput_per_relay:.2f}",
+            "yes" if model.supports_streaming(required_duty=0.8) else "no",
+        ))
+    contention = format_table(
+        ["relays on one channel", "collision prob.", "goodput/relay",
+         "streams OK?"],
+        rows,
+        title=(f"RF coexistence — FDM capacity {capacity} relays; "
+               "shared-channel carrier sensing:"),
+    )
+
+    # --- privacy -----------------------------------------------------
+    rows = []
+    for d_client in (1.0, 3.0, 8.0):
+        tx = minimum_tx_power_dbm(d_client, required_snr_db=30.0)
+        radius = leakage_radius_m(tx, usable_snr_db=10.0)
+        rows.append((
+            f"{d_client:.0f}",
+            f"{tx:.1f}",
+            f"{received_audio_snr_db(tx, d_client):.1f}",
+            f"{radius:.0f}",
+        ))
+    privacy = format_table(
+        ["client distance (m)", "min TX power (dBm)", "client SNR (dB)",
+         "leakage radius (m)"],
+        rows,
+        title="Privacy — power control vs eavesdropping range:",
+    )
+    return contention + "\n\n" + privacy, capacity
+
+
+def test_ext_coexistence_privacy(benchmark, report):
+    tables, capacity = run_once(benchmark, run_tables)
+    report(tables)
+
+    assert capacity > 500
+    assert allocate_channels(4, 32000.0)
+    # Power control shrinks leakage monotonically with client distance.
+    r1 = leakage_radius_m(minimum_tx_power_dbm(1.0))
+    r8 = leakage_radius_m(minimum_tx_power_dbm(8.0))
+    assert r1 < r8

@@ -1,0 +1,24 @@
+"""Extension — cancellation at the eardrum (paper §6).
+
+Quantifies what designing against the error microphone (rather than a
+KEMAR-style ear model) costs at the eardrum, and what calibration
+recovers.
+"""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_ear_model
+
+
+def test_ext_ear_model(benchmark, report):
+    result = run_once(benchmark, run_ear_model, duration_s=8.0, seed=7)
+    report(result.report())
+
+    # The mismatch costs several dB, concentrated at high frequency.
+    assert result.mismatch_cost_db > 2.0
+    drum = result.curves["at eardrum"]
+    mic = result.curves["at error mic"]
+    assert (drum.mean_db(2500, 3800) - mic.mean_db(2500, 3800)
+            > drum.mean_db(100, 800) - mic.mean_db(100, 800))
+    # Ear-model calibration recovers essentially all of it.
+    assert abs(result.calibrated_mean_db - result.mic_mean_db) < 1.0

@@ -1,0 +1,22 @@
+"""Extension — the §4.3 edge service under a compute budget.
+
+One server adapting for many users: subscriber count vs per-client
+cancellation at fixed adaptation capacity.
+"""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_edge
+
+
+def test_edge_service(benchmark, report):
+    result = run_once(benchmark, run_edge, duration_s=6.0, seed=9)
+    report(result.report())
+
+    # Within capacity: full duty.
+    assert result.by_count[2].adaptation_duty == 1.0
+    # Over capacity: duty shrinks and mean cancellation degrades
+    # gracefully rather than collapsing.
+    assert result.by_count[6].adaptation_duty < 0.4
+    assert 0.5 < result.degradation_db() < 10.0
+    assert result.by_count[6].mean_cancellation_db() < -8.0

@@ -1,0 +1,19 @@
+"""Extension — head mobility (paper §6).
+
+The swaying-head experiment: how much tracking costs, and how much a
+faster-converging adaptation step recovers.
+"""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_mobility
+
+
+def test_ext_mobility(benchmark, report):
+    result = run_once(benchmark, run_mobility, duration_s=12.0, seed=5)
+    report(result.report())
+
+    # Motion degrades the statically-tuned filter...
+    assert result.mobility_cost_db > 0.5
+    # ...and the tracking-tuned step recovers part of the loss.
+    assert result.tracking_recovery_db < -0.3

@@ -1,0 +1,15 @@
+"""Figure 6 — the profile spectra that make predictive switching work."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_fig6
+
+
+def test_fig6_profile_spectra(benchmark, report):
+    result = run_once(benchmark, run_fig6, duration_s=16.0, seed=31)
+    report(result.report())
+
+    # The two profiles are spectrally distinct (the figure's point)...
+    assert result.signature_distance > 0.3
+    # ...and separable online from short windows by the classifier.
+    assert result.classifier_accuracy > 0.6

@@ -1,0 +1,23 @@
+"""Figure 12 — overall cancellation, four schemes, white noise.
+
+Regenerates the paper's headline figure: Bose_Active (<1 kHz only),
+Bose_Overall (≈ −15 dB), MUTE_Hollow (within ~1 dB of Bose_Overall,
+open ear), MUTE+Passive (several dB better).
+"""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_fig12
+
+
+def test_fig12_overall_cancellation(benchmark, report):
+    result = run_once(benchmark, run_fig12, duration_s=8.0, seed=7)
+    report(result.report())
+
+    bose_active = result.curves["Bose_Active"]
+    assert bose_active.mean_db(0, 800) < -8.0        # active works low
+    assert bose_active.mean_db(2500, 4000) > -1.0    # and fails high
+    assert result.curves["MUTE_Hollow"].mean_db(1000, 3000) < -10.0
+    assert result.mute_vs_bose_active_sub1k_db < -3.0   # paper: -6.7
+    assert abs(result.mute_hollow_vs_bose_overall_db) < 5.0  # paper: +0.9
+    assert result.mute_passive_vs_bose_overall_db < -5.0     # paper: -8.9

@@ -1,0 +1,17 @@
+"""Figure 13 — combined speaker+microphone frequency response."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_fig13
+
+
+def test_fig13_transducer_response(benchmark, report):
+    result = run_once(benchmark, run_fig13)
+    report(result.report())
+
+    # Near-zero response below 100 Hz — the cause of Figure 12's
+    # low-frequency cancellation dip.
+    assert result.response_at_50hz < 0.25 * result.response_at_peak
+    # Peak around 0.2 in the low-kHz region, as the paper's curve shows.
+    assert 0.1 < result.response_at_peak < 0.4
+    assert 500.0 < result.peak_hz < 2500.0

@@ -1,0 +1,15 @@
+"""Figure 15 — simulated listener ratings, MUTE+Passive vs Bose_Overall."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_fig15
+
+
+def test_fig15_user_ratings(benchmark, report):
+    result = run_once(benchmark, run_fig15, duration_s=8.0)
+    report(result.report())
+
+    # The paper's finding: every volunteer rated MUTE above Bose, for
+    # both music and voice.
+    assert result.mute_wins("music") == result.n_subjects
+    assert result.mute_wins("voice") == result.n_subjects

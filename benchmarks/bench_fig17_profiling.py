@@ -1,0 +1,16 @@
+"""Figure 17 — additional cancellation from predictive profile switching."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_fig17
+
+
+def test_fig17_profile_switching(benchmark, report):
+    result = run_once(benchmark, run_fig17, duration_s=16.0, seed=31)
+    report(result.report())
+
+    # Paper: ~3 dB average additional cancellation for intermittent
+    # sounds; negative = switching cancels more.
+    assert result.mean_additional_db < -1.5
+    assert result.cache_hits > 0
+    assert len(result.switch_events) >= 4

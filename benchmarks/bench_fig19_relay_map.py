@@ -1,0 +1,17 @@
+"""Figure 19 — relay association map across noise-source positions."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_fig19
+
+
+def test_fig19_relay_association(benchmark, report):
+    result = run_once(benchmark, run_fig19, duration_s=1.5, seed=17)
+    report(result.report())
+
+    # The paper's map: the client associates with the relay nearest the
+    # source, and with none when the source is nearest the client.
+    assert result.accuracy() >= 0.75
+    none_cases = [k for k, v in result.expected.items() if v is None]
+    assert none_cases
+    assert all(result.decisions[k] is None for k in none_cases)

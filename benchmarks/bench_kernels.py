@@ -1,0 +1,82 @@
+"""Microbenchmarks of the hot computational kernels.
+
+Unlike the figure benches these are true repeated-timing benchmarks:
+the LANC sample loop (the per-sample cost a real DSP must sustain), the
+image-source RIR builder, GCC-PHAT, and the FM chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Point, Room, room_impulse_response
+from repro.core import LancFilter, gcc_phat
+from repro.signals import WhiteNoise
+from repro.wireless import FmDemodulator, FmModulator
+
+
+@pytest.fixture(scope="module")
+def white_second():
+    return WhiteNoise(seed=0, level_rms=0.2).generate(1.0)
+
+
+def test_lanc_loop_one_second(benchmark, white_second):
+    """One second of 8 kHz audio through a 64+512-tap LANC filter."""
+    s = np.zeros(8)
+    s[2] = 1.0
+    d = np.convolve(white_second, np.array([0.0] * 12 + [0.5]))[:8000]
+
+    def run():
+        f = LancFilter(n_future=64, n_past=512, secondary_path=s, mu=0.1)
+        return f.run(white_second, d)
+
+    result = benchmark(run)
+    assert np.all(np.isfinite(result.error))
+
+
+def test_rir_build(benchmark):
+    """Third-order image-source RIR for the bench room."""
+    room = Room(6.0, 5.0, 3.0, absorption=0.3)
+
+    ir = benchmark(room_impulse_response, room, Point(1.0, 0.8, 1.2),
+                   Point(4.5, 2.5, 1.2), 8000.0)
+    assert ir.size > 100
+
+
+def test_gcc_phat_one_second(benchmark, white_second):
+    """Relay-selection correlation over 1 s of audio."""
+    ear = np.zeros_like(white_second)
+    ear[40:] = white_second[:-40]
+
+    lags, corr = benchmark(gcc_phat, white_second, ear, 8000.0)
+    assert lags[np.argmax(corr)] > 0
+
+
+def test_fm_roundtrip_one_second(benchmark, white_second):
+    """Modulate + demodulate 1 s of audio at 96 kHz baseband."""
+    mod = FmModulator()
+    dem = FmDemodulator()
+
+    def roundtrip():
+        return dem.demodulate(mod.modulate(white_second))
+
+    out = benchmark(roundtrip)
+    assert out.size == white_second.size
+
+
+def test_block_lanc_one_second(benchmark, white_second):
+    """Block LANC on the same workload — the 'faster DSP' speed path."""
+    import numpy as np
+
+    from repro.core import BlockLancFilter
+
+    s = np.zeros(8)
+    s[2] = 1.0
+    d = np.convolve(white_second, np.array([0.0] * 12 + [0.5]))[:8000]
+
+    def run():
+        f = BlockLancFilter(n_future=64, n_past=512, secondary_path=s,
+                            mu=0.1, block_size=64)
+        return f.run(white_second, d)
+
+    result = benchmark(run)
+    assert np.all(np.isfinite(result.error))

@@ -1,0 +1,20 @@
+"""Headline numbers table — the paper's §1/§5.2 bullet comparisons."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_headline
+
+
+def test_headline_numbers(benchmark, report):
+    result = run_once(benchmark, run_headline, duration_s=8.0, seed=7)
+    report(result.report())
+
+    # Sign/direction checks against the paper's numbers:
+    # MUTE beats Bose_Active within 1 kHz (paper: -6.7 dB)...
+    assert result.mute_vs_bose_active_sub1k_db < -3.0
+    # ...roughly ties Bose_Overall while leaving the ear open (+0.9)...
+    assert abs(result.mute_hollow_vs_bose_overall_db) < 5.0
+    # ...and clearly wins once given the same earcup (-8.9).
+    assert result.mute_passive_vs_bose_overall_db < -5.0
+    # Profiling adds cancellation for intermittent sounds (~-3 dB).
+    assert result.profiling_gain_db < -1.5

@@ -1,0 +1,19 @@
+"""Figure 5 / Equations 3-4 — the timing analysis as numbers."""
+
+from _bench_utils import run_once
+
+from repro.eval.experiments import run_timing
+
+
+def test_timing_budget(benchmark, report):
+    result = run_once(benchmark, run_timing)
+    report(result.report())
+
+    verdicts = {row[0]: row[3] for row in result.device_rows}
+    assert verdicts["headphone-asic (conventional)"] == "NO"
+    assert verdicts["TMS320C6713 (MUTE bench)"] == "yes"
+    # Paper: the conventional pipeline is "easily 3x" the 30 µs budget.
+    assert 2.0 < result.headphone_overrun_ratio < 5.0
+    # Paper Eq. 4: 1 m of relay advantage ≈ 3 ms of lookahead.
+    one_meter = [r for r in result.distance_rows if r[0] == "1.00"][0]
+    assert abs(float(one_meter[1]) - 2.94) < 0.05

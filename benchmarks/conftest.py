@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+Every figure bench runs its experiment once under pytest-benchmark
+(rounds=1 — these are multi-second simulations, not microbenchmarks) and
+prints the same rows/series the paper's figure plots.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a report so it survives pytest's capture (shown with -s)."""
+
+    def _print(text):
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,75 @@
+"""Architectural variants (paper §4.3): where can the pieces live?
+
+The paper sketches three disaggregations beyond the basic wall relay:
+
+1. **Personal tabletop** — the relay (with the DSP) sits on the user's
+   own table, ~1 m toward the noise;
+2. **Edge service** — ceiling relays wired to a shared DSP server;
+3. **Smart noise** — the noise source itself carries the relay
+   (maximum possible lookahead).
+
+Each variant is, acoustically, a different relay placement and latency
+budget; this example quantifies the lookahead and cancellation each one
+buys on the same scene and workload.
+
+Run:  python examples/architecture_variants.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import repro
+from repro.acoustics import Point, Room
+from repro.acoustics.rir import RirSettings
+from repro.hardware import fast_dsp, tms320c6713
+
+
+def main():
+    room = Room(6.0, 5.0, 3.0, absorption=0.4)
+    source = Point(1.0, 1.0, 1.3)
+    client = Point(4.5, 3.5, 1.2)
+
+    variants = {
+        # label: (relay position, dsp board, note)
+        "wall relay (baseline)": (
+            Point(1.3, 0.7, 1.4), tms320c6713(),
+            "relay pasted near the noise, DSP at the ear"),
+        "personal tabletop": (
+            Point(3.3, 2.7, 1.0), tms320c6713(),
+            "relay+DSP on the user's table, ~1.5 m toward the noise"),
+        "edge service (ceiling)": (
+            Point(2.0, 2.0, 2.8), fast_dsp(),
+            "ceiling relay, beefier shared DSP server"),
+        "smart noise": (
+            Point(1.05, 1.05, 1.3), tms320c6713(),
+            "the noise source broadcasts itself"),
+    }
+
+    noise = repro.WhiteNoise(level_rms=0.1, seed=4).generate(6.0)
+    print(f"{'variant':24s} {'lead (ms)':>9s} {'usable (ms)':>11s} "
+          f"{'N taps':>6s} {'cancel (dB)':>11s}")
+    print("-" * 70)
+    for label, (relay_pos, board, note) in variants.items():
+        scenario = repro.Scenario(
+            room=room, source=source, client=client, relays=(relay_pos,),
+            rir_settings=RirSettings(max_order=2),
+        )
+        config = repro.MuteConfig(n_future=96, n_past=384, mu=0.15,
+                                  dsp=board)
+        system = repro.MuteSystem(scenario, config)
+        budget = system.lookahead_budget
+        run = system.run(noise)
+        print(f"{label:24s} {budget.acoustic_lead_s * 1e3:9.2f} "
+              f"{budget.usable_lookahead_s * 1e3:11.2f} "
+              f"{run.n_future_used:6d} "
+              f"{run.mean_cancellation_db(settle_fraction=0.5):11.1f}")
+        print(f"{'':24s} ({note})")
+
+    print("\nSmart noise maximizes lookahead (the relay IS the source); "
+          "the tabletop\ntrades some lookahead for zero installation — "
+          "the paper's §4.3 trade-offs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Two people disturbing Alice at once — the §6 future-work system.
+
+Background machinery drones from one corner while a colleague talks from
+another.  A relay is pasted near each.  The single-reference prototype
+(what the paper built) stalls on the mixture; the multi-reference LANC
+(one aligned branch per relay) restores deep cancellation — with each
+branch still exploiting its own lookahead taps.
+
+Run:  python examples/multi_source.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import run_multisource
+from repro.eval.experiments.ext_multisource import two_source_layout
+
+
+def main():
+    scenario, sources = two_source_layout()
+    print("Scene: client at "
+          f"({scenario.client.x:.1f}, {scenario.client.y:.1f}); "
+          "sources/relays at:")
+    for i, (source, relay) in enumerate(zip(sources, scenario.relays)):
+        print(f"  source {i + 1} ({source.x:.1f}, {source.y:.1f})  "
+              f"relay {i + 1} ({relay.x:.1f}, {relay.y:.1f})")
+    print()
+
+    result = run_multisource(duration_s=8.0)
+    print(result.report())
+
+    print("\nWhy the single reference stalls: the second source reaches")
+    print("the relay and the ear through different room channels, so no")
+    print("single filter maps the mixture; one reference per source")
+    print("restores identifiability (paper §6, 'one for each noise")
+    print("channel').")
+
+
+if __name__ == "__main__":
+    main()

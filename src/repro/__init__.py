@@ -1,0 +1,167 @@
+"""repro — a full reproduction of "MUTE: Bringing IoT to Noise
+Cancellation" (SIGCOMM 2018) as a simulation library.
+
+MUTE places an IoT relay near a noise source; the relay forwards the
+sound over RF, which outruns the acoustic wavefront and gives the
+ear-device a multi-millisecond *lookahead*.  The Lookahead-Aware Noise
+Cancellation (LANC) algorithm spends that lookahead on non-causal
+adaptive-filter taps and predictive profile switching, cancelling
+unpredictable wide-band sound across [0, 4] kHz without blocking the
+ear.
+
+Quick start::
+
+    import repro
+
+    scenario = repro.office_scenario()
+    system = repro.MuteSystem(scenario, repro.MuteConfig(mu=0.1, n_past=384))
+    noise = repro.WhiteNoise(level_rms=0.1, seed=1).generate(5.0)
+    result = system.run(noise)
+    print(result.mean_cancellation_db(), "dB")
+
+Package map
+-----------
+``repro.core``
+    LANC and FxLMS adaptive filters, profile switching, GCC-PHAT relay
+    selection, the end-to-end :class:`MuteSystem`, Bose-style baselines.
+``repro.acoustics``
+    Rooms, image-source impulse responses, propagation, channel
+    inversion theory.
+``repro.wireless``
+    Analog FM relay at complex baseband, RF impairments, link budgets.
+``repro.hardware``
+    Converters, DSP latency budgets, transducer responses, passive
+    earcups.
+``repro.signals``
+    Reproducible noise/speech/music/construction sources.
+``repro.eval``
+    Metrics, the listener-rating model, and one experiment runner per
+    paper figure.
+"""
+
+from .core import (
+    BoseHeadphone,
+    ConventionalAncModel,
+    FilterCache,
+    FxlmsFilter,
+    LancFilter,
+    LmsFilter,
+    LookaheadBudget,
+    MuteConfig,
+    MuteRunResult,
+    MuteSystem,
+    PredictiveProfileSwitcher,
+    ProfileClassifier,
+    RelaySelector,
+    Scenario,
+    StreamingLanc,
+    estimate_secondary_path,
+    gcc_phat,
+    identify_system,
+    lookahead_samples,
+    lookahead_seconds,
+    measure_lookahead,
+    office_scenario,
+)
+from .acoustics import (
+    AcousticChannel,
+    Point,
+    Room,
+    room_impulse_response,
+)
+from .errors import (
+    ChannelError,
+    ConfigurationError,
+    ConvergenceError,
+    LookaheadError,
+    RelaySelectionError,
+    ReproError,
+    SignalError,
+)
+from .hardware import (
+    DspBoard,
+    PassiveEarcup,
+    TransducerResponse,
+    bose_qc35_earcup,
+    cheap_transducer,
+    tms320c6713,
+)
+from .signals import (
+    BandlimitedNoise,
+    ConstructionNoise,
+    FemaleVoice,
+    IntermittentSource,
+    MachineHum,
+    MaleVoice,
+    PinkNoise,
+    SyntheticMusic,
+    SyntheticSpeech,
+    Tone,
+    WhiteNoise,
+)
+from .wireless import AnalogRelay, IdealRelay, RfChannelConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "BoseHeadphone",
+    "ConventionalAncModel",
+    "FilterCache",
+    "FxlmsFilter",
+    "LancFilter",
+    "LmsFilter",
+    "LookaheadBudget",
+    "MuteConfig",
+    "MuteRunResult",
+    "MuteSystem",
+    "PredictiveProfileSwitcher",
+    "ProfileClassifier",
+    "RelaySelector",
+    "Scenario",
+    "StreamingLanc",
+    "estimate_secondary_path",
+    "gcc_phat",
+    "identify_system",
+    "lookahead_samples",
+    "lookahead_seconds",
+    "measure_lookahead",
+    "office_scenario",
+    # acoustics
+    "AcousticChannel",
+    "Point",
+    "Room",
+    "room_impulse_response",
+    # errors
+    "ChannelError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "LookaheadError",
+    "RelaySelectionError",
+    "ReproError",
+    "SignalError",
+    # hardware
+    "DspBoard",
+    "PassiveEarcup",
+    "TransducerResponse",
+    "bose_qc35_earcup",
+    "cheap_transducer",
+    "tms320c6713",
+    # signals
+    "BandlimitedNoise",
+    "ConstructionNoise",
+    "FemaleVoice",
+    "IntermittentSource",
+    "MachineHum",
+    "MaleVoice",
+    "PinkNoise",
+    "SyntheticMusic",
+    "SyntheticSpeech",
+    "Tone",
+    "WhiteNoise",
+    # wireless
+    "AnalogRelay",
+    "IdealRelay",
+    "RfChannelConfig",
+]

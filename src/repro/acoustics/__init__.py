@@ -1,0 +1,58 @@
+"""Acoustic substrate: geometry, propagation, room impulse responses."""
+
+from .channels import AcousticChannel, cascade, channel_delay_samples
+from .constants import (
+    CONVENTIONAL_ANC_BUDGET_S,
+    DEFAULT_SAMPLE_RATE,
+    RF_TO_SOUND_SPEED_RATIO,
+    SPEED_OF_LIGHT,
+    SPEED_OF_SOUND,
+)
+from .geometry import Point, Room, distance, propagation_time
+from .inverse import (
+    delayed_inverse,
+    inversion_residual,
+    is_minimum_phase,
+    noncausal_inverse_taps,
+    truncation_error,
+)
+from .propagation import (
+    apply_delay,
+    delay_samples,
+    delay_seconds,
+    fractional_delay_filter,
+    spreading_gain,
+)
+from .rir import RirSettings, direct_path_ir, image_sources, room_impulse_response
+from .timevarying import TimeVaryingChannel, moving_client_channel
+
+__all__ = [
+    "AcousticChannel",
+    "cascade",
+    "channel_delay_samples",
+    "CONVENTIONAL_ANC_BUDGET_S",
+    "DEFAULT_SAMPLE_RATE",
+    "RF_TO_SOUND_SPEED_RATIO",
+    "SPEED_OF_LIGHT",
+    "SPEED_OF_SOUND",
+    "Point",
+    "Room",
+    "distance",
+    "propagation_time",
+    "delayed_inverse",
+    "inversion_residual",
+    "is_minimum_phase",
+    "noncausal_inverse_taps",
+    "truncation_error",
+    "apply_delay",
+    "delay_samples",
+    "delay_seconds",
+    "fractional_delay_filter",
+    "spreading_gain",
+    "RirSettings",
+    "direct_path_ir",
+    "image_sources",
+    "room_impulse_response",
+    "TimeVaryingChannel",
+    "moving_client_channel",
+]

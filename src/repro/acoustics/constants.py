@@ -1,0 +1,34 @@
+"""Physical constants for acoustic and RF propagation.
+
+The entire MUTE idea rests on one ratio: RF travels ~10^6 times faster
+than sound, so a relay 1 m closer to the noise source buys ≈3 ms of
+lookahead (paper Eq. 4).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPEED_OF_SOUND",
+    "SPEED_OF_LIGHT",
+    "RF_TO_SOUND_SPEED_RATIO",
+    "DEFAULT_SAMPLE_RATE",
+    "CONVENTIONAL_ANC_BUDGET_S",
+]
+
+#: Speed of sound in air at ~20 °C (m/s); the paper uses ≈340 m/s.
+SPEED_OF_SOUND = 340.0
+
+#: Speed of light in vacuum (m/s); RF in air is within 0.03% of this.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: How much faster RF is than sound — the "velocity gap" MUTE exploits.
+RF_TO_SOUND_SPEED_RATIO = SPEED_OF_LIGHT / SPEED_OF_SOUND
+
+#: Sample rate used throughout the experiments; the paper's TMS320C6713
+#: caps at 8 kHz, which caps cancellation at 4 kHz.
+DEFAULT_SAMPLE_RATE = 8000.0
+
+#: Time budget of a conventional headphone: sound covers the <1 cm gap
+#: between reference microphone and anti-noise speaker in ≈30 µs
+#: (paper §1 and §3.1).
+CONVENTIONAL_ANC_BUDGET_S = 30e-6

@@ -1,0 +1,103 @@
+"""3-D geometry primitives: points, distances, shoebox rooms.
+
+Experiment scenarios (Figures 1, 19) are laid out in a rectangular
+("shoebox") room with a noise source, one or more IoT relays, and the
+MUTE client.  All positions are in meters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ConfigurationError
+from .constants import SPEED_OF_SOUND
+
+__all__ = ["Point", "Room", "distance", "propagation_time"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    """A 3-D position in meters."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def __post_init__(self):
+        for axis in ("x", "y", "z"):
+            value = getattr(self, axis)
+            if not math.isfinite(value):
+                raise ConfigurationError(f"Point.{axis} must be finite")
+
+    def distance_to(self, other):
+        """Euclidean distance to another point, in meters."""
+        return math.dist((self.x, self.y, self.z), (other.x, other.y, other.z))
+
+    def as_tuple(self):
+        """The point as a plain ``(x, y, z)`` tuple."""
+        return (self.x, self.y, self.z)
+
+
+def distance(a, b):
+    """Euclidean distance between two points (meters)."""
+    return a.distance_to(b)
+
+
+def propagation_time(a, b, speed=SPEED_OF_SOUND):
+    """Travel time of a wave from ``a`` to ``b`` at ``speed`` m/s."""
+    if speed <= 0:
+        raise ConfigurationError(f"speed must be > 0, got {speed}")
+    return distance(a, b) / speed
+
+
+@dataclasses.dataclass(frozen=True)
+class Room:
+    """A shoebox room with frequency-flat wall absorption.
+
+    Parameters
+    ----------
+    length, width, height:
+        Interior dimensions in meters.
+    absorption:
+        Energy absorption coefficient of the walls in [0, 1); the wall
+        amplitude reflection coefficient is ``sqrt(1 - absorption)``.
+        Typical offices are ~0.3–0.5.
+    """
+
+    length: float
+    width: float
+    height: float = 3.0
+    absorption: float = 0.4
+
+    def __post_init__(self):
+        for axis in ("length", "width", "height"):
+            value = getattr(self, axis)
+            if not math.isfinite(value) or value <= 0:
+                raise ConfigurationError(f"Room.{axis} must be > 0")
+        if not 0.0 <= self.absorption < 1.0:
+            raise ConfigurationError(
+                f"absorption must be in [0, 1), got {self.absorption}"
+            )
+
+    @property
+    def reflection_coefficient(self):
+        """Amplitude reflection coefficient of each wall."""
+        return math.sqrt(1.0 - self.absorption)
+
+    def contains(self, point, margin=0.0):
+        """Whether ``point`` lies inside the room (with optional margin)."""
+        return (
+            margin <= point.x <= self.length - margin
+            and margin <= point.y <= self.width - margin
+            and margin <= point.z <= self.height - margin
+        )
+
+    def require_inside(self, name, point):
+        """Raise :class:`ConfigurationError` if the point is outside."""
+        if not self.contains(point):
+            raise ConfigurationError(
+                f"{name} at {point.as_tuple()} is outside the "
+                f"{self.length}x{self.width}x{self.height} m room"
+            )
+        return point

@@ -1,0 +1,155 @@
+"""Room impulse responses via the image-source method.
+
+The channels the paper must estimate — noise→error-mic ``h_ne``,
+noise→reference-mic ``h_nr``, speaker→error-mic ``h_se`` — are room
+impulse responses.  Their *non-minimum-phase* character (Neely & Allen)
+is exactly why the inverse filter is non-causal and why lookahead helps,
+so the simulation must produce realistic multipath, not just a delayed
+impulse.
+
+The classic Allen–Berkley image-source method mirrors the source across
+the room walls up to ``max_order`` reflections; each image contributes a
+fractionally delayed, distance-attenuated, wall-absorbed impulse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.validation import check_non_negative_int, check_positive
+from .constants import SPEED_OF_SOUND
+from .geometry import Point, Room
+from .propagation import fractional_delay_filter, spreading_gain
+
+__all__ = ["RirSettings", "image_sources", "room_impulse_response", "direct_path_ir"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RirSettings:
+    """Tuning knobs for the image-source simulation."""
+
+    max_order: int = 3          # reflections per axis direction
+    sinc_taps: int = 31         # fractional-delay filter quality
+    speed_of_sound: float = SPEED_OF_SOUND
+
+    def __post_init__(self):
+        check_non_negative_int("max_order", self.max_order)
+        if self.sinc_taps < 3:
+            raise ConfigurationError("sinc_taps must be >= 3")
+        check_positive("speed_of_sound", self.speed_of_sound)
+
+
+def image_sources(room, source, max_order):
+    """Yield ``(image_position, n_reflections)`` pairs up to ``max_order``.
+
+    Standard mirror construction: for image indices ``(nx, ny, nz)`` and
+    parities ``(px, py, pz)``, the image coordinate along x is
+    ``2 * nx * Lx + (source.x if px == 0 else -source.x)`` (likewise y, z),
+    and the number of wall bounces is ``|2nx - px| + |2ny - py| + |2nz - pz|``.
+    """
+    if not isinstance(room, Room):
+        raise ConfigurationError("room must be a Room")
+    room.require_inside("source", source)
+    max_order = check_non_negative_int("max_order", max_order)
+    dims = (room.length, room.width, room.height)
+    src = source.as_tuple()
+    index_range = range(-max_order, max_order + 1)
+    for nx, ny, nz in itertools.product(index_range, repeat=3):
+        for px, py, pz in itertools.product((0, 1), repeat=3):
+            coords = []
+            bounces = 0
+            for n, p, L, s in zip((nx, ny, nz), (px, py, pz), dims, src):
+                coords.append(2.0 * n * L + (s if p == 0 else -s))
+                bounces += abs(2 * n - p)
+            if bounces > max_order:
+                continue
+            yield Point(*coords), bounces
+
+
+def room_impulse_response(room, source, microphone, sample_rate,
+                          settings=None, normalize=False):
+    """Impulse response from ``source`` to ``microphone`` inside ``room``.
+
+    Parameters
+    ----------
+    room, source, microphone:
+        Scene geometry; both points must lie inside the room.
+    sample_rate:
+        Sampling rate of the returned FIR, in Hz.
+    settings:
+        Optional :class:`RirSettings`.
+    normalize:
+        If true, scale so the direct-path tap has unit amplitude —
+        convenient when only the *shape* of the multipath matters.
+
+    Returns
+    -------
+    numpy.ndarray
+        FIR coefficients; index 0 corresponds to zero delay, so the
+        direct-path arrival appears at ``round(distance / v * fs)``.
+    """
+    settings = settings or RirSettings()
+    sample_rate = check_positive("sample_rate", sample_rate)
+    room.require_inside("microphone", microphone)
+    reflection = room.reflection_coefficient
+
+    arrivals = []   # (delay_samples, amplitude)
+    max_delay = 0.0
+    for image, bounces in image_sources(room, source, settings.max_order):
+        dist = image.distance_to(microphone)
+        delay = dist / settings.speed_of_sound * sample_rate
+        amp = spreading_gain(dist) * (reflection ** bounces)
+        arrivals.append((delay, amp))
+        max_delay = max(max_delay, delay)
+
+    center = settings.sinc_taps // 2
+    length = int(np.ceil(max_delay)) + settings.sinc_taps + 1
+    ir = np.zeros(length)
+    for delay, amp in arrivals:
+        base = int(np.floor(delay))
+        frac = delay - base
+        # Use a *centered* fractional-delay kernel (group delay
+        # center+frac) and start it `center` samples early, so each
+        # arrival lands at its exact delay without truncation bias.
+        taps = fractional_delay_filter(frac + center,
+                                       n_taps=settings.sinc_taps)
+        start = base - center
+        if start < 0:
+            taps = taps[-start:]
+            start = 0
+        end = min(start + taps.size, length)
+        ir[start:end] += amp * taps[: end - start]
+
+    if normalize:
+        peak = np.max(np.abs(ir))
+        if peak > 0:
+            ir = ir / peak
+    return ir
+
+
+def direct_path_ir(distance_m, sample_rate, speed=SPEED_OF_SOUND,
+                   sinc_taps=31, gain=None):
+    """Anechoic (single-path) impulse response over ``distance_m`` meters.
+
+    Used for free-field experiments and unit tests where multipath would
+    obscure the property being checked.
+    """
+    sample_rate = check_positive("sample_rate", sample_rate)
+    distance_m = check_positive("distance_m", distance_m)
+    delay = distance_m / speed * sample_rate
+    base = int(np.floor(delay))
+    frac = delay - base
+    center = sinc_taps // 2
+    taps = fractional_delay_filter(frac + center, n_taps=sinc_taps)
+    start = base - center
+    if start < 0:
+        taps = taps[-start:]
+        start = 0
+    ir = np.zeros(start + taps.size)
+    amplitude = spreading_gain(distance_m) if gain is None else gain
+    ir[start:] = amplitude * taps
+    return ir

@@ -1,0 +1,108 @@
+"""Time-varying acoustic channels — the head-mobility substrate.
+
+Paper §6: "head mobility will cause faster channel fluctuations, slowing
+down convergence.  While this affects all ANC realizations ... the issue
+has been alleviated by bringing enhanced filtering methods known to
+converge faster."
+
+A moving listener means the noise→ear channel ``h_ne`` changes over
+time.  :class:`TimeVaryingChannel` models that with snapshot impulse
+responses at waypoints along the motion and cross-fades between
+consecutive snapshots — the standard way to synthesize motion from
+static RIRs without re-running the image model per sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sps
+
+from ..errors import ChannelError, ConfigurationError
+from ..utils.validation import check_impulse_response, check_waveform
+from .rir import room_impulse_response
+
+__all__ = ["TimeVaryingChannel", "moving_client_channel"]
+
+
+class TimeVaryingChannel:
+    """Piecewise-interpolated LTV channel from snapshot IRs.
+
+    The input signal is split into equal segments, one per *transition*;
+    within segment ``i`` the output cross-fades linearly from
+    ``snapshot[i]``'s output to ``snapshot[i+1]``'s.  With a single
+    snapshot the channel is just LTI.
+
+    Parameters
+    ----------
+    snapshots:
+        Impulse responses at the motion waypoints (equal treatment, so
+        waypoints should be equally spaced in time).
+    """
+
+    def __init__(self, snapshots):
+        if not snapshots:
+            raise ConfigurationError("need at least one snapshot IR")
+        self.snapshots = [check_impulse_response(f"snapshots[{i}]", ir)
+                          for i, ir in enumerate(snapshots)]
+
+    @property
+    def n_snapshots(self):
+        return len(self.snapshots)
+
+    def apply(self, signal):
+        """Propagate a waveform through the moving channel."""
+        signal = check_waveform("signal", signal)
+        if self.n_snapshots == 1:
+            return sps.fftconvolve(signal, self.snapshots[0])[: signal.size]
+
+        T = signal.size
+        n_transitions = self.n_snapshots - 1
+        # Convolve once per snapshot, then blend with per-sample weights.
+        outputs = [sps.fftconvolve(signal, ir)[:T] for ir in self.snapshots]
+        result = np.zeros(T)
+        bounds = np.linspace(0, T, n_transitions + 1).astype(int)
+        for i in range(n_transitions):
+            start, stop = bounds[i], bounds[i + 1]
+            if stop <= start:
+                continue
+            fade = np.linspace(0.0, 1.0, stop - start, endpoint=False)
+            result[start:stop] = ((1.0 - fade) * outputs[i][start:stop]
+                                  + fade * outputs[i + 1][start:stop])
+        return result
+
+    def snapshot_at(self, fraction):
+        """The interpolated IR at ``fraction ∈ [0, 1]`` of the motion."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ChannelError("fraction must be in [0, 1]")
+        if self.n_snapshots == 1:
+            return self.snapshots[0].copy()
+        position = fraction * (self.n_snapshots - 1)
+        low = int(np.floor(position))
+        high = min(low + 1, self.n_snapshots - 1)
+        blend = position - low
+        a, b = self.snapshots[low], self.snapshots[high]
+        length = max(a.size, b.size)
+        out = np.zeros(length)
+        out[: a.size] += (1.0 - blend) * a
+        out[: b.size] += blend * b
+        return out
+
+
+def moving_client_channel(room, source, path_points, sample_rate,
+                          settings=None):
+    """Noise→ear channel for a client moving along ``path_points``.
+
+    Builds one image-source RIR per waypoint and wraps them in a
+    :class:`TimeVaryingChannel`.  All IRs are zero-padded to a common
+    length so cross-fading is well defined.
+    """
+    if not path_points:
+        raise ConfigurationError("path_points must be non-empty")
+    snapshots = [
+        room_impulse_response(room, source, point, sample_rate,
+                              settings=settings)
+        for point in path_points
+    ]
+    length = max(ir.size for ir in snapshots)
+    padded = [np.pad(ir, (0, length - ir.size)) for ir in snapshots]
+    return TimeVaryingChannel(padded)

@@ -1,0 +1,23 @@
+"""Adaptive-filter engines: LMS/NLMS, FxLMS, and lookahead-aware LANC."""
+
+from .apa import ApaFilter
+from .base import AdaptationResult, TapVector, mse_curve
+from .block import BlockLancFilter
+from .lanc import FxlmsFilter, LancFilter
+from .lms import LmsFilter, identify_system
+from .multiref import MultiRefLancFilter
+from .rls import RlsFilter
+
+__all__ = [
+    "ApaFilter",
+    "AdaptationResult",
+    "TapVector",
+    "mse_curve",
+    "BlockLancFilter",
+    "FxlmsFilter",
+    "LancFilter",
+    "LmsFilter",
+    "identify_system",
+    "MultiRefLancFilter",
+    "RlsFilter",
+]

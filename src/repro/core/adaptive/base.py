@@ -1,0 +1,155 @@
+"""Shared machinery for the adaptive filters.
+
+Tap-index convention (matches the paper's Algorithm 1): a filter has
+``n_future`` anti-causal taps and ``n_past`` causal taps, indexed
+``k ∈ [-n_future, n_past - 1]``; its output is::
+
+    y(t) = sum_k  w[k] * x(t - k)
+
+so ``k = -n_future`` multiplies the most futuristic sample
+``x(t + n_future)``.  Internally taps are stored oldest-*future*-first:
+``taps[0] ↔ k = -n_future`` ... ``taps[-1] ↔ k = n_past - 1``, which
+matches the oldest-first window returned by
+:meth:`repro.utils.buffers.LookaheadBuffer.window` *reversed* — see
+:func:`tap_window` for the exact pairing used throughout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ...errors import ConvergenceError
+from ...utils.validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_waveform,
+)
+
+__all__ = ["TapVector", "AdaptationResult", "padded_reference", "tap_window"]
+
+#: Error magnitude beyond which a filter is declared divergent.
+DIVERGENCE_LIMIT = 1e6
+
+
+@dataclasses.dataclass
+class TapVector:
+    """A two-sided tap vector with paper-style indexing helpers."""
+
+    n_future: int
+    n_past: int
+    values: np.ndarray = None
+
+    def __post_init__(self):
+        check_non_negative_int("n_future", self.n_future)
+        check_positive_int("n_past", self.n_past)
+        if self.values is None:
+            self.values = np.zeros(self.n_future + self.n_past)
+        else:
+            self.values = np.asarray(self.values, dtype=np.float64)
+            if self.values.shape != (self.n_future + self.n_past,):
+                raise ConvergenceError(
+                    "tap vector has wrong length "
+                    f"{self.values.shape} != ({self.n_future + self.n_past},)"
+                )
+
+    def __len__(self):
+        return self.values.size
+
+    def tap(self, k):
+        """Tap value at paper index ``k ∈ [-n_future, n_past - 1]``."""
+        return float(self.values[k + self.n_future])
+
+    def set_tap(self, k, value):
+        """Set tap at paper index ``k``."""
+        self.values[k + self.n_future] = value
+
+    def copy(self):
+        """Deep copy (used by the profile cache)."""
+        return TapVector(self.n_future, self.n_past, self.values.copy())
+
+
+@dataclasses.dataclass
+class AdaptationResult:
+    """Outcome of a batch adaptation run.
+
+    Attributes
+    ----------
+    error:
+        Residual at the error microphone, per sample.
+    output:
+        Filter output (the anti-noise fed to the speaker).
+    taps:
+        Final tap values.
+    mse_trajectory:
+        Windowed mean-square error over time (convergence curve,
+        Figures 7/8).
+    """
+
+    error: np.ndarray
+    output: np.ndarray
+    taps: np.ndarray
+    mse_trajectory: np.ndarray
+
+    def converged_error(self, fraction=0.25):
+        """RMS of the trailing ``fraction`` of the error (post-convergence)."""
+        n = max(int(self.error.size * fraction), 1)
+        tail = self.error[-n:]
+        return float(np.sqrt(np.mean(np.square(tail))))
+
+
+def padded_reference(x, n_future, n_past):
+    """Pad ``x`` so every window ``x[t-n_past+1 .. t+n_future]`` exists.
+
+    Returns ``(padded, offset)`` where sample ``x[t]`` lives at
+    ``padded[t + offset]``.
+    """
+    x = check_waveform("x", x)
+    n_future = check_non_negative_int("n_future", n_future)
+    n_past = check_positive_int("n_past", n_past)
+    padded = np.concatenate([
+        np.zeros(n_past - 1), x, np.zeros(n_future)
+    ])
+    return padded, n_past - 1
+
+
+def tap_window(padded, offset, t, n_future, n_past):
+    """Window aligned with the tap vector: index 0 ↔ ``x(t + n_future)``.
+
+    ``y(t) = taps · window`` with taps stored future-first, because
+    ``taps[i] ↔ k = i - n_future`` multiplies ``x(t - k) = x(t + n_future - i)``.
+    """
+    start = t + offset - (n_past - 1)
+    stop = t + offset + n_future + 1
+    return padded[start:stop][::-1]
+
+
+def mse_curve(error, window=256):
+    """Sliding mean-square error (the convergence plots' y-axis)."""
+    error = np.asarray(error, dtype=np.float64)
+    window = min(max(int(window), 1), max(error.size, 1))
+    squared = np.square(error)
+    kernel = np.full(window, 1.0 / window)
+    return np.convolve(squared, kernel, mode="same")
+
+
+def guard_divergence(error_sample, context):
+    """Raise :class:`ConvergenceError` when adaptation blows up."""
+    if not np.isfinite(error_sample) or abs(error_sample) > DIVERGENCE_LIMIT:
+        raise ConvergenceError(
+            f"{context}: error sample {error_sample!r} exceeds divergence "
+            "limit — reduce the step size mu"
+        )
+
+
+def effective_step(mu, window, normalized, epsilon=1e-8):
+    """Step size, optionally normalized by instantaneous window power."""
+    mu = check_positive("mu", mu)
+    check_non_negative("epsilon", epsilon)
+    if not normalized:
+        return mu
+    power = float(np.dot(window, window))
+    return mu / (power + epsilon)

@@ -1,0 +1,330 @@
+"""LANC — Lookahead-Aware Noise Cancellation (the paper's Algorithm 1).
+
+LANC is filtered-x LMS whose adaptive filter carries *non-causal* taps:
+``h_AF(k)`` for ``k ∈ [-N, L-1]``, where the ``N`` anti-causal taps
+multiply reference samples up to ``x(t + N)``.  Those samples exist at
+the ear-device because the IoT relay forwards the waveform over RF,
+which outruns the acoustic wavefront by the lookahead
+``(d_e - d_r) / v`` (paper Eq. 4).  The anti-causal taps are what let
+the filter realize the non-causal inverse ``h_nr^{-1}`` inside the
+optimal solution ``h_AF = -h_se^{-1} * h_ne * h_nr^{-1}`` (paper Eq. 2).
+
+Indexing contract
+-----------------
+The ``reference`` given to :meth:`LancFilter.run` must be *aligned to
+the error microphone's time base*: ``reference[t]`` is the reference-mic
+sample whose wavefront reaches the error mic at time ``t``.  (The
+:class:`repro.core.system.MuteSystem` performs that alignment with the
+measured acoustic lead, exactly the role of the paper's GCC-PHAT
+synchronization.)  Under this alignment, "N future samples" are
+physically available whenever ``N ≤ acoustic lead − pipeline latency``.
+
+With ``n_future = 0`` the class *is* conventional causal FxLMS — the
+baselines use it that way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...utils.validation import (
+    check_impulse_response,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_same_length,
+    check_waveform,
+)
+from .base import (
+    AdaptationResult,
+    effective_step,
+    guard_divergence,
+    mse_curve,
+    padded_reference,
+    tap_window,
+)
+
+__all__ = ["LancFilter", "FxlmsFilter"]
+
+
+class LancFilter:
+    """Lookahead-aware filtered-x LMS adaptive canceler.
+
+    Parameters
+    ----------
+    n_future:
+        ``N`` — number of anti-causal taps (0 = conventional FxLMS).
+    n_past:
+        ``L`` — number of causal taps (including the ``k = 0`` tap).
+    secondary_path:
+        Estimate of ``h_se`` (speaker→error-mic), used to filter the
+        reference for the update (the "filtered-x" of FxLMS) — the paper
+        estimates it a priori with a preamble probe.
+    mu:
+        Adaptation step; normalized (NLMS-style) by default.
+    normalized:
+        Normalize the step by the filtered-reference window power.
+    leak:
+        Leaky-LMS decay, guards against tap drift on narrowband inputs.
+    """
+
+    def __init__(self, n_future, n_past, secondary_path, mu=0.5,
+                 normalized=True, leak=0.0):
+        self.n_future = check_non_negative_int("n_future", n_future)
+        self.n_past = check_positive_int("n_past", n_past)
+        self.secondary_path = check_impulse_response(
+            "secondary_path", secondary_path
+        )
+        self.mu = check_positive("mu", mu)
+        self.normalized = bool(normalized)
+        if not 0.0 <= leak < 1.0:
+            raise ConfigurationError(f"leak must be in [0, 1), got {leak}")
+        self.leak = float(leak)
+        self.n_taps = self.n_future + self.n_past
+        #: Tap values, stored future-first: ``taps[i] ↔ k = i - n_future``.
+        self.taps = np.zeros(self.n_taps)
+
+    # ------------------------------------------------------------------
+    # Tap access in the paper's indexing
+    # ------------------------------------------------------------------
+    def tap(self, k):
+        """Tap ``h_AF(k)``, ``k ∈ [-n_future, n_past - 1]``."""
+        if not -self.n_future <= k < self.n_past:
+            raise ConfigurationError(
+                f"tap index {k} outside [-{self.n_future}, {self.n_past - 1}]"
+            )
+        return float(self.taps[k + self.n_future])
+
+    def get_taps(self):
+        """Copy of the tap vector (future-first storage order)."""
+        return self.taps.copy()
+
+    def set_taps(self, values):
+        """Overwrite the tap vector — the profile cache's "load" operation."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_taps,):
+            raise ConfigurationError(
+                f"expected {self.n_taps} taps, got shape {values.shape}"
+            )
+        self.taps = values.copy()
+
+    def reset(self):
+        """Zero the taps."""
+        self.taps[:] = 0.0
+
+    # ------------------------------------------------------------------
+    # Batch physical simulation
+    # ------------------------------------------------------------------
+    def run(self, reference, disturbance, secondary_path_true=None,
+            adapt=True, adapt_mask=None):
+        """Run the full ANC loop over aligned waveforms.
+
+        Per sample (paper Algorithm 1): compute the anti-noise
+        ``α(t) = Σ_k h_AF(k) x(t-k)``; the speaker output passes through
+        the *true* secondary path to the error mic, where it sums with
+        the disturbance ``d(t)``; the measured error drives the filtered-x
+        gradient update ``h_AF(k) ← h_AF(k) − µ e(t) x'(t−k)``.
+
+        Parameters
+        ----------
+        reference:
+            Error-mic-time-aligned reference ``x`` (see module docstring).
+        disturbance:
+            ``d(t) = (h_ne * n)(t)`` — noise at the error mic with the
+            canceler off.
+        secondary_path_true:
+            Physical ``h_se``; defaults to the filter's estimate (i.e. a
+            perfectly identified secondary path).
+        adapt:
+            If false, taps are frozen (evaluation of a cached profile).
+        adapt_mask:
+            Optional per-sample boolean; adaptation only where true.
+
+        Returns
+        -------
+        AdaptationResult
+            ``error`` is the residual at the error mic (what the ear
+            hears), ``output`` the anti-noise waveform.
+        """
+        x = check_waveform("reference", reference)
+        d = check_waveform("disturbance", disturbance)
+        check_same_length("reference", x, "disturbance", d)
+        s_true = (
+            self.secondary_path if secondary_path_true is None
+            else check_impulse_response("secondary_path_true",
+                                        secondary_path_true)
+        )
+        if adapt_mask is not None:
+            adapt_mask = np.asarray(adapt_mask, dtype=bool)
+            if adapt_mask.shape != x.shape:
+                raise ConfigurationError(
+                    "adapt_mask must match the signal length"
+                )
+
+        T = x.size
+        # Filtered reference for the update (estimate of h_se, causal).
+        x_filtered = np.convolve(x, self.secondary_path)[:T]
+        xp, off = padded_reference(x, self.n_future, self.n_past)
+        xfp, offf = padded_reference(x_filtered, self.n_future, self.n_past)
+
+        s_len = s_true.size
+        y_recent = np.zeros(s_len)  # y(t), y(t-1), ... newest first
+        errors = np.empty(T)
+        outputs = np.empty(T)
+        taps = self.taps  # local alias (hot loop)
+
+        for t in range(T):
+            win = tap_window(xp, off, t, self.n_future, self.n_past)
+            y = float(np.dot(taps, win))
+            outputs[t] = y
+            y_recent[1:] = y_recent[:-1]
+            y_recent[0] = y
+            e = d[t] + float(np.dot(s_true, y_recent))
+            errors[t] = e
+            guard_divergence(e, "LancFilter")
+            if adapt and (adapt_mask is None or adapt_mask[t]):
+                winf = tap_window(xfp, offf, t, self.n_future, self.n_past)
+                step = effective_step(self.mu, winf, self.normalized)
+                if self.leak:
+                    taps *= (1.0 - self.leak)
+                taps -= step * e * winf
+
+        return AdaptationResult(
+            error=errors,
+            output=outputs,
+            taps=self.taps.copy(),
+            mse_trajectory=mse_curve(errors),
+        )
+
+
+class FxlmsFilter(LancFilter):
+    """Conventional causal filtered-x LMS (``n_future = 0``).
+
+    The algorithm inside today's ANC headphones; exists as a named type
+    so baselines read as what they are.
+    """
+
+    def __init__(self, n_taps, secondary_path, mu=0.5, normalized=True,
+                 leak=0.0):
+        super().__init__(n_future=0, n_past=n_taps,
+                         secondary_path=secondary_path, mu=mu,
+                         normalized=normalized, leak=leak)
+
+
+class StreamingLanc:
+    """Streaming driver for a :class:`LancFilter`.
+
+    Decouples *feeding* the aligned reference (which the relay delivers
+    ``n_future`` samples ahead of acoustic time) from *processing* error
+    samples, so callers can act between blocks — the predictive profile
+    switcher swaps taps here, exactly when the lookahead buffer says the
+    sound is about to change.
+
+    Typical loop::
+
+        stream = StreamingLanc(filter, secondary_path_true=s)
+        stream.feed(reference[:n_future])              # prime the lookahead
+        for t0 in range(0, T, block):
+            stream.feed(reference[t0 + n_future : t0 + block + n_future])
+            err = stream.process(disturbance[t0 : t0 + block])
+
+    (or simply ``feed`` everything up front; ``process`` never reads past
+    ``time + n_future``.)
+    """
+
+    def __init__(self, lanc_filter, secondary_path_true=None):
+        if not isinstance(lanc_filter, LancFilter):
+            raise ConfigurationError("lanc_filter must be a LancFilter")
+        self.filter = lanc_filter
+        self.s_true = (
+            lanc_filter.secondary_path if secondary_path_true is None
+            else check_impulse_response("secondary_path_true",
+                                        secondary_path_true)
+        )
+        self._x = np.zeros(0)
+        self._xf = np.zeros(0)
+        self._zi = np.zeros(self.filter.secondary_path.size - 1) \
+            if self.filter.secondary_path.size > 1 else np.zeros(0)
+        self._y_recent = np.zeros(self.s_true.size)
+        self._time = 0          # next acoustic sample to process
+        self.errors = []
+
+    @property
+    def time(self):
+        """Number of acoustic samples processed so far."""
+        return self._time
+
+    def feed(self, reference_block):
+        """Deliver newly arrived aligned-reference samples."""
+        block = check_waveform("reference_block", reference_block,
+                               min_length=1)
+        # Incrementally maintain the filtered reference x' = s_hat * x.
+        from scipy import signal as sps
+
+        if self._zi.size:
+            filtered, self._zi = sps.lfilter(
+                self.filter.secondary_path, [1.0], block, zi=self._zi
+            )
+        else:
+            filtered = self.filter.secondary_path[0] * block
+        self._x = np.concatenate([self._x, block])
+        self._xf = np.concatenate([self._xf, filtered])
+
+    def peek_future(self, n_samples):
+        """The next ``n_samples`` of not-yet-processed reference.
+
+        This is the lookahead buffer's glimpse of what is about to reach
+        the ear — the input to profile classification.
+        """
+        start = self._time
+        return self._x[start: start + int(n_samples)].copy()
+
+    def process(self, disturbance_block, adapt=True):
+        """Process a block of acoustic time; returns the error block."""
+        d = check_waveform("disturbance_block", disturbance_block,
+                           min_length=1)
+        f = self.filter
+        needed = self._time + d.size + f.n_future
+        if self._x.size < needed:
+            raise ConfigurationError(
+                f"reference underrun: need {needed} fed samples, "
+                f"have {self._x.size}"
+            )
+        taps = f.taps
+        errors = np.empty(d.size)
+        for i in range(d.size):
+            t = self._time + i
+            lo = t - (f.n_past - 1)
+            hi = t + f.n_future + 1
+            if lo >= 0:
+                win = self._x[lo:hi][::-1]
+                winf = self._xf[lo:hi][::-1]
+            else:
+                pad = -lo
+                win = np.concatenate(
+                    [self._x[0:hi][::-1], np.zeros(pad)]
+                )
+                winf = np.concatenate(
+                    [self._xf[0:hi][::-1], np.zeros(pad)]
+                )
+            y = float(np.dot(taps, win))
+            self._y_recent[1:] = self._y_recent[:-1]
+            self._y_recent[0] = y
+            e = d[i] + float(np.dot(self.s_true, self._y_recent))
+            errors[i] = e
+            guard_divergence(e, "StreamingLanc")
+            if adapt:
+                step = effective_step(f.mu, winf, f.normalized)
+                if f.leak:
+                    taps *= (1.0 - f.leak)
+                taps -= step * e * winf
+        self._time += d.size
+        self.errors.append(errors)
+        return errors
+
+    def error_signal(self):
+        """All processed error samples as one array."""
+        if not self.errors:
+            return np.zeros(0)
+        return np.concatenate(self.errors)

@@ -1,0 +1,128 @@
+"""Noise cancellation as an edge service (paper §4.3, Figure 10b).
+
+"Another organization is to move the DSP to a backend server, and
+connect multiple IoT relays to it, enabling a MUTE public service ...
+The DSP processor can compute the anti-noise for each user and send it
+over RF.  If computation becomes the bottleneck with multiple users,
+perhaps the server could be upgraded with multiple-DSP cores."
+
+The interesting systems question is the bottleneck sentence: a server
+that can afford ``capacity`` full-rate adaptive-filter updates must
+*time-share* adaptation once more clients connect.  Anti-noise
+*playback* is cheap (one convolution per client); it is the gradient
+update that costs, so the scheduler keeps every client's filter running
+but only adapts a rotating subset — and per-client convergence slows
+in proportion.
+
+:class:`EdgeAncService` implements that round-robin scheduler on top of
+per-client LANC filters and reports per-client cancellation, so the
+capacity/user-count trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.units import cancellation_db
+from ..utils.validation import check_positive, check_positive_int
+from .adaptive.lanc import LancFilter
+
+__all__ = ["EdgeClient", "EdgeServiceResult", "EdgeAncService"]
+
+
+@dataclasses.dataclass
+class EdgeClient:
+    """One subscriber's prepared signals (aligned per its own relay)."""
+
+    name: str
+    reference: np.ndarray
+    disturbance: np.ndarray
+    secondary_true: np.ndarray
+    secondary_estimate: np.ndarray
+    n_future: int
+
+
+@dataclasses.dataclass
+class EdgeServiceResult:
+    """Per-client outcomes of one service run."""
+
+    cancellation_db: dict       # client name -> broadband dB
+    adaptation_duty: float      # fraction of samples each client adapted
+    n_clients: int
+
+    def mean_cancellation_db(self):
+        return float(np.mean(list(self.cancellation_db.values())))
+
+
+class EdgeAncService:
+    """Round-robin adaptation across clients under a compute budget.
+
+    Parameters
+    ----------
+    capacity:
+        How many clients' *adaptation* the server can run concurrently
+        at full sample rate (playback is assumed affordable for all).
+        With ``n_clients <= capacity`` everyone adapts every sample;
+        beyond that, client *i* adapts on interleaved sample slots with
+        duty ``capacity / n_clients``.
+    n_past / mu:
+        Filter sizing shared by all clients.
+    """
+
+    def __init__(self, capacity=2, n_past=384, mu=0.15):
+        self.capacity = check_positive_int("capacity", capacity)
+        self.n_past = check_positive_int("n_past", n_past)
+        self.mu = check_positive("mu", mu)
+
+    def _adaptation_mask(self, n_samples, client_index, n_clients):
+        """Interleaved round-robin slots for one client.
+
+        At sample ``s`` the server adapts clients
+        ``(s·capacity + j) mod n_clients`` for ``j < capacity``; client
+        ``i`` is therefore active when
+        ``(i − s·capacity) mod n_clients < capacity``, which spreads each
+        client's slots evenly through time with duty
+        ``≈ capacity / n_clients``.
+        """
+        if n_clients <= self.capacity:
+            return None     # full-rate adaptation
+        s = np.arange(n_samples)
+        return ((client_index - s * self.capacity) % n_clients
+                < self.capacity)
+
+    def serve(self, clients, settle_fraction=0.5):
+        """Run the service for a set of clients over their signals.
+
+        Returns an :class:`EdgeServiceResult` with per-client broadband
+        cancellation measured after ``settle_fraction`` of the run.
+        """
+        if not clients:
+            raise ConfigurationError("no clients to serve")
+        names = [c.name for c in clients]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("client names must be unique")
+
+        n_clients = len(clients)
+        duty = min(self.capacity / n_clients, 1.0)
+        results = {}
+        for index, client in enumerate(clients):
+            lanc = LancFilter(
+                n_future=client.n_future, n_past=self.n_past,
+                secondary_path=client.secondary_estimate, mu=self.mu)
+            mask = self._adaptation_mask(client.disturbance.size, index,
+                                         n_clients)
+            run = lanc.run(client.reference, client.disturbance,
+                           secondary_path_true=client.secondary_true,
+                           adapt_mask=mask)
+            tail = slice(int(client.disturbance.size * settle_fraction),
+                         None)
+            results[client.name] = cancellation_db(
+                client.disturbance[tail], run.error[tail])
+        return EdgeServiceResult(
+            cancellation_db=results,
+            adaptation_duty=duty,
+            n_clients=n_clients,
+        )

@@ -1,0 +1,109 @@
+"""Lookahead accounting — Eq. 3 and Eq. 4 of the paper.
+
+Two numbers rule the system:
+
+* the **acoustic lead**: how much earlier the relay hears the wavefront
+  than the ear, ``(d_e − d_r) / v`` (Eq. 4);
+* the **pipeline latency**: ADC + DSP + DAC + speaker (Eq. 3's right
+  side), plus any relay chain group delay.
+
+Their difference, in samples, is the number of anti-causal taps ``N``
+that LANC can physically realize.  The Figure 16 experiment shrinks the
+lead artificially with a *delayed line buffer*; :class:`LookaheadBudget`
+models that with ``injected_delay_s``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..acoustics.constants import SPEED_OF_SOUND
+from ..errors import ConfigurationError
+from ..utils.validation import check_non_negative, check_positive
+
+__all__ = ["lookahead_seconds", "lookahead_samples", "LookaheadBudget"]
+
+
+def lookahead_seconds(de_m, dr_m, speed=SPEED_OF_SOUND):
+    """Paper Eq. 4: ``(d_e − d_r) / v``.
+
+    Positive when the relay is closer to the source than the ear; 1 m of
+    advantage ≈ 3 ms.  May legitimately be negative (relay behind the
+    user) — that is what relay selection detects and rejects.
+    """
+    de_m = check_non_negative("de_m", de_m)
+    dr_m = check_non_negative("dr_m", dr_m)
+    speed = check_positive("speed", speed)
+    return (de_m - dr_m) / speed
+
+
+def lookahead_samples(de_m, dr_m, sample_rate, speed=SPEED_OF_SOUND):
+    """Eq. 4 in whole samples (floor — partial samples don't buy a tap)."""
+    sample_rate = check_positive("sample_rate", sample_rate)
+    import math
+
+    return math.floor(lookahead_seconds(de_m, dr_m, speed) * sample_rate)
+
+
+@dataclasses.dataclass(frozen=True)
+class LookaheadBudget:
+    """Full lookahead ledger for one relay↔ear configuration.
+
+    Parameters
+    ----------
+    acoustic_lead_s:
+        The Eq. 4 lead (possibly negative).
+    pipeline_latency_s:
+        The Eq. 3 sum for the ear device.
+    relay_latency_s:
+        Fixed group delay of the relay chain (analog: ~0.1 ms).
+    injected_delay_s:
+        Artificial delay inserted in the reference path (the Figure 16
+        "delayed line buffer"); shrinks the usable lookahead.
+    """
+
+    acoustic_lead_s: float
+    pipeline_latency_s: float = 0.0
+    relay_latency_s: float = 0.0
+    injected_delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.pipeline_latency_s < 0 or self.relay_latency_s < 0 \
+                or self.injected_delay_s < 0:
+            raise ConfigurationError(
+                "latency terms must be >= 0 "
+                f"(got pipeline={self.pipeline_latency_s}, "
+                f"relay={self.relay_latency_s}, "
+                f"injected={self.injected_delay_s})"
+            )
+
+    @property
+    def usable_lookahead_s(self):
+        """Lookahead left after every latency is paid."""
+        return (self.acoustic_lead_s - self.pipeline_latency_s
+                - self.relay_latency_s - self.injected_delay_s)
+
+    def usable_future_taps(self, sample_rate):
+        """``N`` — anti-causal taps LANC may use (≥ 0)."""
+        sample_rate = check_positive("sample_rate", sample_rate)
+        import math
+
+        return max(math.floor(self.usable_lookahead_s * sample_rate), 0)
+
+    @property
+    def meets_deadline(self):
+        """Eq. 3: lookahead covers the pipeline (timing bottleneck gone)."""
+        return self.usable_lookahead_s >= 0.0
+
+    @property
+    def playback_lag_s(self):
+        """Residual anti-noise lateness when the deadline is missed.
+
+        Zero for MUTE (Figure 5b); the phase-error source for
+        conventional headphones (Figure 5a).
+        """
+        return max(-self.usable_lookahead_s, 0.0)
+
+    def with_injected_delay(self, injected_delay_s):
+        """A copy with a different Figure 16 injected delay."""
+        return dataclasses.replace(self, injected_delay_s=injected_delay_s)

@@ -1,0 +1,107 @@
+"""Scenario presets for the paper's motivating environments (§1).
+
+"Working or napping at airports may be difficult due to continuous
+overhead announcements ... Loud music or chants from public speakers,
+sound pollution from road traffic ... working at office, snoozing at the
+airport, sleeping at home, working out in the gym."
+
+Each preset returns a ready-to-run :class:`Scenario` plus a matching
+noise source, so examples and tests can exercise realistic layouts with
+one call.
+"""
+
+from __future__ import annotations
+
+from ..acoustics.geometry import Point, Room
+from ..acoustics.rir import RirSettings
+from ..signals import (
+    BandlimitedNoise,
+    MachineHum,
+    MaleVoice,
+    SyntheticMusic,
+)
+from .scenario import Scenario
+
+__all__ = [
+    "airport_gate",
+    "gym_floor",
+    "bedroom_at_night",
+    "all_presets",
+]
+
+
+def airport_gate(sample_rate=8000.0, seed=0):
+    """A gate lounge: PA announcements from an overhead speaker.
+
+    Hard surfaces (low absorption); the relay is mounted next to the PA
+    speaker — the §4.3 "smart noise" idea avant la lettre.
+    """
+    # Carpeted gate area with seating: moderately live, not a cathedral.
+    room = Room(15.0, 10.0, 4.0, absorption=0.3)
+    scenario = Scenario(
+        room=room,
+        source=Point(7.5, 5.0, 3.6),        # ceiling PA speaker
+        client=Point(3.0, 2.5, 1.2),        # napping traveler
+        relays=(Point(7.2, 4.8, 3.5),),     # relay beside the PA
+        sample_rate=sample_rate,
+        rir_settings=RirSettings(max_order=2),
+    )
+    announcer = MaleVoice(sample_rate=sample_rate, level_rms=0.12,
+                          seed=seed, speech_fraction=0.75,
+                          sentence_length_s=2.5, pause_length_s=1.5)
+    return scenario, announcer
+
+
+def gym_floor(sample_rate=8000.0, seed=0):
+    """A gym: loud music from the front-of-house speaker."""
+    room = Room(12.0, 8.0, 3.5, absorption=0.25)
+    scenario = Scenario(
+        room=room,
+        source=Point(1.0, 4.0, 2.5),        # PA stack
+        client=Point(8.0, 4.0, 1.5),        # on the treadmill
+        relays=(Point(1.4, 3.8, 2.3),),
+        sample_rate=sample_rate,
+        rir_settings=RirSettings(max_order=2),
+    )
+    music = SyntheticMusic(sample_rate=sample_rate, level_rms=0.15,
+                           tempo_bpm=128.0, seed=seed)
+    return scenario, music
+
+
+def bedroom_at_night(sample_rate=8000.0, seed=0):
+    """A bedroom: HVAC hum plus street noise through the window."""
+    room = Room(4.0, 3.5, 2.6, absorption=0.55)   # soft furnishings
+    scenario = Scenario(
+        room=room,
+        source=Point(0.3, 1.8, 1.0),        # window / vent
+        client=Point(3.0, 1.8, 0.8),        # pillow
+        relays=(Point(0.6, 1.8, 1.2),),     # relay on the windowsill
+        sample_rate=sample_rate,
+        rir_settings=RirSettings(max_order=2),
+    )
+    hum = MachineHum(sample_rate=sample_rate, level_rms=0.05,
+                     fundamental=60.0, seed=seed)
+    traffic = BandlimitedNoise(40.0, 1200.0, sample_rate=sample_rate,
+                               level_rms=0.04, seed=seed + 1)
+
+    fs = float(sample_rate)
+
+    class _Street:
+        """Hum + traffic mixed at generation time."""
+
+        name = "bedroom night noise"
+        sample_rate = fs
+
+        def generate(self, duration):
+            return hum.generate(duration) + traffic.generate(duration)
+
+    return scenario, _Street()
+
+
+def all_presets(sample_rate=8000.0, seed=0):
+    """Every preset, keyed by name."""
+    return {
+        "airport gate": airport_gate(sample_rate, seed),
+        "gym floor": gym_floor(sample_rate, seed),
+        "bedroom at night": bedroom_at_night(sample_rate, seed),
+    }

@@ -1,0 +1,261 @@
+"""Sound profiling: signatures, classification, predictive filter switching.
+
+Paper §3.2(2): when the dominant sound alternates (speech bursts over
+background noise), a single adaptive filter re-converges at every
+transition and cancellation fluctuates (Figure 8b).  LANC instead
+
+1. computes a **profile signature** — the band-energy distribution — of
+   the *lookahead buffer* (sound that has not yet reached the ear),
+2. matches it against known profiles,
+3. when the upcoming profile differs from the current one, **loads** the
+   cached converged taps for the new profile right at the transition
+   (Figure 8c), and keeps adapting from there.
+
+The buffer-ahead classification is the part that needs lookahead: the
+switch happens *when* the new sound arrives, not a detection latency
+after.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.spectral import band_energy_signature
+from ..utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "SoundProfile",
+    "signature_distance",
+    "ProfileClassifier",
+    "FilterCache",
+    "PredictiveProfileSwitcher",
+]
+
+
+@dataclasses.dataclass
+class SoundProfile:
+    """A named sound profile: normalized band-energy signature + level.
+
+    ``level_db`` is the profile's typical RMS level in dB (arbitrary but
+    consistent reference); ``None`` when unknown (signature-only
+    matching).
+    """
+
+    label: str
+    signature: np.ndarray
+    level_db: float = None
+
+    def __post_init__(self):
+        self.signature = np.asarray(self.signature, dtype=np.float64)
+        if self.signature.ndim != 1 or self.signature.size < 2:
+            raise ConfigurationError("signature must be a 1-D vector")
+        total = self.signature.sum()
+        if total <= 0:
+            raise ConfigurationError("signature must have positive mass")
+        self.signature = self.signature / total
+
+
+def signature_distance(a, b):
+    """L1 distance between two normalized signatures (0 … 2)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ConfigurationError("signatures must have equal shape")
+    return float(np.sum(np.abs(a - b)))
+
+
+class ProfileClassifier:
+    """Nearest-profile classifier over band-energy signatures.
+
+    Parameters
+    ----------
+    sample_rate:
+        Audio rate of analyzed buffers.
+    n_bands:
+        Signature resolution.
+    max_distance:
+        Distance beyond which a buffer matches *no* profile
+        (returns ``None`` — treated as "unknown, keep adapting").
+    energy_floor:
+        Buffers with RMS below this are classified as ``"quiet"``
+        regardless of shape (silence has no meaningful spectrum).
+    level_weight:
+        How much a level difference contributes to the match distance:
+        ``level_weight`` per 10 dB of RMS mismatch.  The paper's
+        signature ("average energy distribution across frequencies") is
+        level-invariant; in practice the *loudness* of a profile is a
+        strong cue — a talker switching on raises the level long before
+        the normalized spectrum shifts — so the default includes it.
+        Set 0.0 for pure shape matching.
+    """
+
+    def __init__(self, sample_rate=8000.0, n_bands=16, max_distance=0.8,
+                 energy_floor=1e-4, level_weight=0.5):
+        self.sample_rate = check_positive("sample_rate", sample_rate)
+        self.n_bands = check_positive_int("n_bands", n_bands)
+        self.max_distance = check_positive("max_distance", max_distance)
+        self.energy_floor = check_positive("energy_floor", energy_floor)
+        if level_weight < 0:
+            raise ConfigurationError("level_weight must be >= 0")
+        self.level_weight = float(level_weight)
+        self._profiles = {}
+
+    @property
+    def labels(self):
+        """Registered profile labels."""
+        return list(self._profiles)
+
+    def signature(self, buffer):
+        """Band-energy signature of a buffer."""
+        return band_energy_signature(buffer, self.sample_rate,
+                                     n_bands=self.n_bands)
+
+    @staticmethod
+    def _level_db(buffer):
+        rms = float(np.sqrt(np.mean(np.square(buffer)))) if len(buffer) \
+            else 0.0
+        return 20.0 * np.log10(max(rms, 1e-12))
+
+    def register(self, label, buffer):
+        """Learn a profile from an example buffer; returns the profile."""
+        profile = SoundProfile(label=str(label),
+                               signature=self.signature(buffer),
+                               level_db=self._level_db(buffer))
+        self._profiles[profile.label] = profile
+        return profile
+
+    def register_signature(self, label, signature, level_db=None):
+        """Register a precomputed signature (and optional level)."""
+        profile = SoundProfile(label=str(label), signature=signature,
+                               level_db=level_db)
+        self._profiles[profile.label] = profile
+        return profile
+
+    def classify(self, buffer):
+        """Label of the nearest profile, ``"quiet"``, or ``None``.
+
+        ``None`` means no registered profile is close enough.
+        """
+        buffer = np.asarray(buffer, dtype=float)
+        rms = float(np.sqrt(np.mean(np.square(buffer)))) if buffer.size else 0.0
+        if rms < self.energy_floor:
+            return "quiet"
+        if not self._profiles:
+            return None
+        sig = self.signature(buffer)
+        level = self._level_db(buffer)
+        best_label, best_dist = None, np.inf
+        for label, profile in self._profiles.items():
+            dist = signature_distance(sig, profile.signature)
+            if self.level_weight and profile.level_db is not None:
+                dist += self.level_weight * abs(level
+                                                - profile.level_db) / 10.0
+            if dist < best_dist:
+                best_label, best_dist = label, dist
+        if best_dist > self.max_distance:
+            return None
+        return best_label
+
+
+class FilterCache:
+    """Converged tap vectors, one per profile label."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def __contains__(self, label):
+        return label in self._cache
+
+    def __len__(self):
+        return len(self._cache)
+
+    def store(self, label, taps):
+        """Cache (a copy of) the taps for ``label``."""
+        self._cache[str(label)] = np.asarray(taps, dtype=np.float64).copy()
+
+    def load(self, label):
+        """Return cached taps for ``label`` (a copy), or ``None``."""
+        taps = self._cache.get(str(label))
+        return None if taps is None else taps.copy()
+
+    def labels(self):
+        """Cached labels."""
+        return list(self._cache)
+
+
+@dataclasses.dataclass
+class SwitchEvent:
+    """Record of one predictive filter switch (for experiment reports)."""
+
+    sample_index: int
+    from_label: str
+    to_label: str
+    cache_hit: bool
+
+
+class PredictiveProfileSwitcher:
+    """Orchestrates classify-ahead → cache → switch for a LANC filter.
+
+    Drive it block-by-block over the *lookahead* stream (sound that is
+    about to reach the ear)::
+
+        switcher = PredictiveProfileSwitcher(classifier, filter)
+        for block_start in range(0, T, block):
+            future = reference[block_start : block_start + block]
+            switcher.observe(future, block_start)
+
+    ``observe`` classifies the upcoming block; on a profile change it
+    saves the current taps under the old label and loads cached taps for
+    the new one (if any).  The filter keeps adapting afterwards, so each
+    profile's cache entry improves over time.
+    """
+
+    def __init__(self, classifier, lanc_filter, min_dwell_blocks=1):
+        if not isinstance(classifier, ProfileClassifier):
+            raise ConfigurationError("classifier must be a ProfileClassifier")
+        self.classifier = classifier
+        self.filter = lanc_filter
+        self.cache = FilterCache()
+        self.min_dwell_blocks = check_positive_int(
+            "min_dwell_blocks", min_dwell_blocks
+        )
+        self.current_label = None
+        self._dwell = 0
+        self.events = []
+
+    def observe(self, future_block, sample_index):
+        """Classify an upcoming block; switch filters on profile change.
+
+        Returns the label now active (may be ``None`` early on).
+        ``min_dwell_blocks`` debounces: a switch is only allowed after the
+        current profile has been held for that many observations
+        (``1`` = switch freely).
+        """
+        self._dwell += 1
+        label = self.classifier.classify(future_block)
+        if label is None:
+            # Unknown sound: keep the current filter adapting.
+            return self.current_label
+        if label == self.current_label:
+            return self.current_label
+        if self._dwell < self.min_dwell_blocks and self.current_label is not None:
+            # Debounce spurious single-block flips.
+            return self.current_label
+
+        if self.current_label is not None:
+            self.cache.store(self.current_label, self.filter.get_taps())
+        cached = self.cache.load(label)
+        if cached is not None:
+            self.filter.set_taps(cached)
+        self.events.append(SwitchEvent(
+            sample_index=int(sample_index),
+            from_label=str(self.current_label),
+            to_label=str(label),
+            cache_hit=cached is not None,
+        ))
+        self.current_label = label
+        self._dwell = 0
+        return label

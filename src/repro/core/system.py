@@ -1,0 +1,326 @@
+"""The full MUTE system simulator.
+
+:class:`MuteSystem` wires every substrate together the way Figure 2's
+bench does:
+
+    noise source ──h_nr──► relay mic ──FM/RF──► ear-device DSP
+        │                                         │ (aligned reference,
+        └────────h_ne──► error mic ◄──h_se── anti-noise speaker
+                              │                   │
+                              └── error feedback ─┘ (LANC)
+
+``run()`` produces the residual at the measurement microphone — the
+quantity behind Figures 12, 14, 16 and 17 — along with the no-ANC
+baseline, so cancellation spectra come straight off the result object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError, LookaheadError
+from ..hardware.dsp_board import DspBoard, tms320c6713
+from ..hardware.transducers import TransducerResponse, cheap_transducer
+from ..utils.spectral import cancellation_spectrum_db
+from ..utils.validation import check_waveform
+from ..wireless.relay import IdealRelay
+from .adaptive.lanc import LancFilter
+from .lookahead import LookaheadBudget
+from .scenario import Scenario
+from .secondary_path import estimate_secondary_path
+
+__all__ = ["MuteConfig", "PreparedSignals", "MuteRunResult", "MuteSystem"]
+
+
+@dataclasses.dataclass
+class MuteConfig:
+    """Tuning of the ear-device and its periphery.
+
+    Parameters
+    ----------
+    n_future / n_past:
+        Requested LANC tap counts; ``n_future`` is clipped to what the
+        lookahead budget allows.
+    mu / leak:
+        Adaptation step (normalized) and leak.
+    relay:
+        Relay model (``IdealRelay`` or ``AnalogRelay``); default ideal
+        with light mic noise.
+    dsp:
+        Ear-device latency budget; default the paper's TMS320C6713.
+    transducer:
+        Anti-noise speaker (+mic) response in the cancellation path;
+        ``None`` for ideal transducers.  Default: the paper's cheap
+        hardware (Figure 13).
+    earcup:
+        Passive attenuation over the ear (``None`` = open ear —
+        MUTE_Hollow; a :class:`PassiveEarcup` = MUTE+Passive).
+    injected_delay_s:
+        Figure 16's artificial reference delay.
+    probe_secondary:
+        Estimate ``h_se`` with a noisy probe (realistic); if false the
+        filter receives the exact secondary path.
+    probe_noise_rms:
+        Ambient noise level during the secondary-path probe.
+    seed:
+        Randomness seed (probe noise etc.).
+    """
+
+    n_future: int = 64
+    n_past: int = 192
+    mu: float = 0.5
+    leak: float = 0.0
+    relay: object = None
+    dsp: DspBoard = dataclasses.field(default_factory=tms320c6713)
+    transducer: TransducerResponse = dataclasses.field(
+        default_factory=cheap_transducer
+    )
+    earcup: object = None
+    injected_delay_s: float = 0.0
+    probe_secondary: bool = True
+    probe_noise_rms: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.relay is None:
+            self.relay = IdealRelay(mic_noise_rms=1e-3, seed=self.seed)
+        if self.n_future < 0 or self.n_past <= 0:
+            raise ConfigurationError(
+                "need n_future >= 0 and n_past > 0, got "
+                f"({self.n_future}, {self.n_past})"
+            )
+        if self.injected_delay_s < 0:
+            raise ConfigurationError("injected_delay_s must be >= 0")
+
+
+@dataclasses.dataclass
+class PreparedSignals:
+    """Signals and parameters ready for a LANC run (or a custom loop)."""
+
+    reference: np.ndarray        # aligned reference at the DSP
+    disturbance_open: np.ndarray  # noise at the ear, no device at all
+    disturbance_at_ear: np.ndarray  # after the earcup (if any)
+    secondary_path_true: np.ndarray
+    secondary_path_estimate: np.ndarray
+    n_future: int
+    budget: LookaheadBudget
+    sample_rate: float
+
+
+@dataclasses.dataclass
+class MuteRunResult:
+    """Outcome of one MUTE simulation run."""
+
+    residual: np.ndarray          # at the measurement mic, ANC on
+    disturbance_open: np.ndarray  # no device (the "off" reference)
+    disturbance_at_ear: np.ndarray
+    antinoise: np.ndarray
+    budget: LookaheadBudget
+    n_future_used: int
+    sample_rate: float
+
+    def _settled(self, signal, settle_fraction):
+        start = int(signal.size * settle_fraction)
+        return signal[start:]
+
+    def cancellation_spectrum(self, nperseg=512, settle_fraction=0.3):
+        """(freqs, dB) — residual PSD over open-ear PSD (Figure 12 axes).
+
+        The first ``settle_fraction`` of the run (adaptive-filter
+        convergence) is excluded, as a bench measurement would.
+        """
+        before = self._settled(self.disturbance_open, settle_fraction)
+        after = self._settled(self.residual, settle_fraction)
+        return cancellation_spectrum_db(before, after, self.sample_rate,
+                                        nperseg=nperseg)
+
+    def mean_cancellation_db(self, f_low=0.0, f_high=None, nperseg=512,
+                             settle_fraction=0.3):
+        """Average cancellation over a band (negative = cancelling)."""
+        freqs, spec = self.cancellation_spectrum(nperseg, settle_fraction)
+        f_high = f_high if f_high is not None else self.sample_rate / 2.0
+        mask = (freqs >= f_low) & (freqs <= f_high)
+        if not np.any(mask):
+            raise ConfigurationError(
+                f"band [{f_low}, {f_high}] Hz contains no PSD bins"
+            )
+        return float(np.mean(spec[mask]))
+
+
+class MuteSystem:
+    """End-to-end MUTE simulation over a :class:`Scenario`.
+
+    Parameters
+    ----------
+    scenario:
+        Physical layout; channels are built once at construction.
+    config:
+        :class:`MuteConfig`; defaults give the paper's bench.
+    relay_index:
+        Which of the scenario's relays the client uses (relay
+        *selection* is exercised separately via
+        :mod:`repro.core.relay_selection`).
+    """
+
+    def __init__(self, scenario, config=None, relay_index=0):
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError("scenario must be a Scenario")
+        self.scenario = scenario
+        self.config = config or MuteConfig()
+        self.channels = scenario.build_channels()
+        if not 0 <= relay_index < len(self.channels.h_nr):
+            raise ConfigurationError(
+                f"relay_index {relay_index} out of range"
+            )
+        self.relay_index = relay_index
+        self.sample_rate = scenario.sample_rate
+        self._secondary_true = self._build_secondary_true()
+        self._secondary_estimate = self._estimate_secondary()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_secondary_true(self):
+        """Physical speaker→error-mic path including the transducer."""
+        ir = self.channels.h_se.ir
+        transducer = self.config.transducer
+        if transducer is None:
+            return ir.copy()
+        combined = np.convolve(ir, transducer.impulse_response)
+        # The transducer FIR is linear-phase; its bulk delay is an
+        # artifact of the FIR realization, not physics — remove it.
+        d = transducer.group_delay_samples
+        return combined[d:]
+
+    def _estimate_secondary(self):
+        cfg = self.config
+        n_taps = min(self._secondary_true.size, 128)
+        if not cfg.probe_secondary:
+            return self._secondary_true.copy()
+        estimate = estimate_secondary_path(
+            self._secondary_true, n_taps=n_taps,
+            probe_duration_s=max(1.0, n_taps * 8 / self.sample_rate),
+            sample_rate=self.sample_rate,
+            ambient_noise_rms=cfg.probe_noise_rms,
+            seed=cfg.seed,
+        )
+        return estimate.impulse_response
+
+    @property
+    def lookahead_budget(self):
+        """The Eq. 3 / Eq. 4 ledger for the selected relay."""
+        lead_s = (self.channels.acoustic_lead_samples[self.relay_index]
+                  / self.sample_rate)
+        relay_latency = getattr(self.config.relay, "latency_samples", 0)
+        return LookaheadBudget(
+            acoustic_lead_s=lead_s,
+            pipeline_latency_s=self.config.dsp.total_latency_s,
+            relay_latency_s=float(relay_latency) / self.sample_rate,
+            injected_delay_s=self.config.injected_delay_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Signal preparation and the main run
+    # ------------------------------------------------------------------
+    def prepare(self, noise):
+        """Propagate noise through the scene; align the reference.
+
+        Raises
+        ------
+        LookaheadError
+            If the configured relay offers negative usable lookahead
+            (relay selection would have rejected it).
+        """
+        noise = check_waveform("noise", noise, min_length=64)
+        cfg = self.config
+        budget = self.lookahead_budget
+        if not budget.meets_deadline:
+            raise LookaheadError(
+                f"usable lookahead {budget.usable_lookahead_s * 1e3:.2f} ms "
+                "is negative — reposition the relay (or let relay "
+                "selection reject it)"
+            )
+        n_future = min(cfg.n_future,
+                       budget.usable_future_taps(self.sample_rate))
+
+        d_open = self.channels.h_ne.apply(noise)
+        x_capture = self.channels.h_nr[self.relay_index].apply(noise)
+        forwarded = cfg.relay.forward(x_capture)
+
+        lead = self.channels.acoustic_lead_samples[self.relay_index]
+        reference = np.zeros_like(forwarded)
+        if lead < forwarded.size:
+            reference[lead:] = forwarded[: forwarded.size - lead]
+
+        d_ear = cfg.earcup.apply(d_open) if cfg.earcup is not None else d_open
+
+        return PreparedSignals(
+            reference=reference,
+            disturbance_open=d_open,
+            disturbance_at_ear=d_ear,
+            secondary_path_true=self._secondary_true,
+            secondary_path_estimate=self._secondary_estimate,
+            n_future=n_future,
+            budget=budget,
+            sample_rate=self.sample_rate,
+        )
+
+    def make_filter(self, n_future=None):
+        """A LANC filter wired with this system's secondary-path estimate."""
+        cfg = self.config
+        return LancFilter(
+            n_future=cfg.n_future if n_future is None else n_future,
+            n_past=cfg.n_past,
+            secondary_path=self._secondary_estimate,
+            mu=cfg.mu,
+            leak=cfg.leak,
+        )
+
+    def run(self, noise):
+        """Simulate the complete system over a noise waveform."""
+        prepared = self.prepare(noise)
+        lanc = self.make_filter(n_future=prepared.n_future)
+        result = lanc.run(
+            prepared.reference,
+            prepared.disturbance_at_ear,
+            secondary_path_true=prepared.secondary_path_true,
+        )
+        return MuteRunResult(
+            residual=result.error,
+            disturbance_open=prepared.disturbance_open,
+            disturbance_at_ear=prepared.disturbance_at_ear,
+            antinoise=result.output,
+            budget=prepared.budget,
+            n_future_used=prepared.n_future,
+            sample_rate=self.sample_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Relay-selection support (Figures 18–19)
+    # ------------------------------------------------------------------
+    def forwarded_and_ear_signals(self, noise):
+        """Per-relay forwarded waveforms plus the raw ear signal.
+
+        Inputs for :class:`repro.core.relay_selection.RelaySelector` —
+        no alignment applied, exactly what the client would correlate.
+        """
+        noise = check_waveform("noise", noise, min_length=64)
+        ear = self.channels.h_ne.apply(noise)
+        forwarded = {}
+        for i, channel in enumerate(self.channels.h_nr):
+            captured = channel.apply(noise)
+            forwarded[i] = self.config.relay.forward(captured)
+        return forwarded, ear
+
+    def summary(self):
+        """One-paragraph configuration description for reports."""
+        budget = self.lookahead_budget
+        return (
+            f"MuteSystem: lead {budget.acoustic_lead_s * 1e3:.2f} ms, "
+            f"pipeline {budget.pipeline_latency_s * 1e3:.2f} ms, "
+            f"usable lookahead {budget.usable_lookahead_s * 1e3:.2f} ms "
+            f"({budget.usable_future_taps(self.sample_rate)} future taps "
+            f"at {self.sample_rate:.0f} Hz)"
+        )

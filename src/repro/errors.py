@@ -1,0 +1,59 @@
+"""Exception hierarchy for the MUTE reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without also catching unrelated bugs::
+
+    try:
+        system.run(noise)
+    except repro.ReproError as exc:
+        log.error("simulation failed: %s", exc)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SignalError",
+    "ChannelError",
+    "ConvergenceError",
+    "LookaheadError",
+    "RelaySelectionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter or combination of parameters is invalid.
+
+    Raised eagerly at construction time so misconfiguration is caught
+    before a long simulation starts.
+    """
+
+
+class SignalError(ReproError, ValueError):
+    """A signal array has the wrong shape, dtype, or content."""
+
+
+class ChannelError(ReproError, ValueError):
+    """An acoustic or RF channel is invalid (e.g. empty impulse response)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An adaptive filter diverged (error grew without bound).
+
+    LMS-family filters diverge when the step size exceeds the stability
+    bound for the input power; the simulator raises this instead of
+    silently returning NaNs.
+    """
+
+
+class LookaheadError(ReproError, ValueError):
+    """A lookahead buffer was asked for samples it cannot provide."""
+
+
+class RelaySelectionError(ReproError, RuntimeError):
+    """Relay selection could not produce a valid decision."""

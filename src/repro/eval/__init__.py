@@ -1,0 +1,26 @@
+"""Evaluation harness: metrics, rating model, reporting, experiments."""
+
+from .metrics import (
+    CancellationCurve,
+    additional_cancellation_db,
+    band_means,
+    convergence_envelope,
+    measure_cancellation,
+)
+from .rating import RatingModel, SubjectRating, a_weighted_level_db
+from .reporting import format_curves, format_series, format_table, sparkline
+
+__all__ = [
+    "CancellationCurve",
+    "additional_cancellation_db",
+    "band_means",
+    "convergence_envelope",
+    "measure_cancellation",
+    "RatingModel",
+    "SubjectRating",
+    "a_weighted_level_db",
+    "format_curves",
+    "format_series",
+    "format_table",
+    "sparkline",
+]

@@ -1,0 +1,73 @@
+"""Per-figure experiment runners (Figures 5, 7-8, 12-19 + headline)."""
+
+from .common import (
+    AMBIENT_SPL_DB,
+    DEFAULT_DURATION_S,
+    DEFAULT_LEVEL_RMS,
+    bench_scenario,
+    build_system,
+    default_config,
+    standard_sources,
+)
+from .convergence import ConvergenceResult, run_convergence
+from .fig06_profiles import Fig6Result, run_fig6
+from .ext_ear_model import EarModelResult, run_ear_model
+from .ext_edge import EdgeResult, run_edge
+from .ext_mobility import MobilityResult, run_mobility
+from .ext_multisource import MultiSourceResult, run_multisource
+from .ext_wideband import WidebandResult, run_wideband
+from .fig12_overall import Fig12Result, run_fig12
+from .fig13_response import Fig13Result, run_fig13
+from .fig14_sound_types import Fig14Result, run_fig14
+from .fig15_ratings import Fig15Result, run_fig15
+from .fig16_lookahead import Fig16Result, run_fig16
+from .fig17_profiling import Fig17Result, run_fig17
+from .fig18_gccphat import Fig18Result, run_fig18
+from .fig19_relay_map import Fig19Result, relay_map_scenario, run_fig19
+from .headline import HeadlineResult, run_headline
+from .timing import TimingResult, run_timing
+
+__all__ = [
+    "AMBIENT_SPL_DB",
+    "DEFAULT_DURATION_S",
+    "DEFAULT_LEVEL_RMS",
+    "bench_scenario",
+    "build_system",
+    "default_config",
+    "standard_sources",
+    "ConvergenceResult",
+    "run_convergence",
+    "Fig6Result",
+    "run_fig6",
+    "EarModelResult",
+    "run_ear_model",
+    "EdgeResult",
+    "run_edge",
+    "MobilityResult",
+    "run_mobility",
+    "MultiSourceResult",
+    "run_multisource",
+    "WidebandResult",
+    "run_wideband",
+    "Fig12Result",
+    "run_fig12",
+    "Fig13Result",
+    "run_fig13",
+    "Fig14Result",
+    "run_fig14",
+    "Fig15Result",
+    "run_fig15",
+    "Fig16Result",
+    "run_fig16",
+    "Fig17Result",
+    "run_fig17",
+    "Fig18Result",
+    "run_fig18",
+    "Fig19Result",
+    "relay_map_scenario",
+    "run_fig19",
+    "HeadlineResult",
+    "run_headline",
+    "TimingResult",
+    "run_timing",
+]

@@ -1,0 +1,101 @@
+"""Extension experiment — cancellation at the eardrum (paper §6).
+
+Runs the standard bench and then asks the paper's follow-up question:
+the error microphone reads near-zero, but what does the *eardrum* hear?
+Three measurement points:
+
+* **error microphone** — what LANC optimizes (the paper's headline);
+* **eardrum, uncalibrated** — the same run heard through the ear-canal
+  coupling with a realistic speaker-path mismatch (delay + tilt);
+* **eardrum, KEMAR-calibrated** — the coupling with the mismatch dialed
+  out, the upper bound ear-model design can recover.
+
+Expected shape: the mismatch costs little at low frequency and
+progressively more toward 4 kHz (phase error ∝ f·Δτ), and calibration
+recovers it — the reason Bose designs against anatomical ear models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+from ...hardware.ear import EarCanalCoupling
+from ..metrics import measure_cancellation
+from ..reporting import format_curves
+from .common import bench_scenario, build_system, white_noise
+
+__all__ = ["EarModelResult", "run_ear_model"]
+
+
+@dataclasses.dataclass
+class EarModelResult:
+    """Cancellation curves at the three measurement points."""
+
+    curves: dict
+    mic_mean_db: float
+    drum_mean_db: float
+    calibrated_mean_db: float
+
+    @property
+    def mismatch_cost_db(self):
+        """What ignoring the ear model costs (positive = worse at drum)."""
+        return self.drum_mean_db - self.mic_mean_db
+
+    def report(self):
+        table = format_curves(list(self.curves.values()), title=(
+            "Extension — cancellation at the eardrum vs the error mic"
+        ))
+        return table + (
+            f"\near-model mismatch cost: {self.mismatch_cost_db:+.1f} dB; "
+            f"KEMAR-style calibration recovers to "
+            f"{self.calibrated_mean_db:.1f} dB "
+            f"(mic reference: {self.mic_mean_db:.1f} dB)"
+        )
+
+
+def run_ear_model(duration_s=8.0, seed=7, scenario=None,
+                  settle_fraction=0.5, mismatch_delay_s=35e-6,
+                  mismatch_tilt_db=1.5):
+    """Run one bench take; evaluate at mic and (un)calibrated drum."""
+    scenario = scenario or bench_scenario()
+    fs = scenario.sample_rate
+    system = build_system(scenario)
+    noise = white_noise(sample_rate=fs, seed=seed).generate(duration_s)
+
+    prepared = system.prepare(noise)
+    lanc = system.make_filter(n_future=prepared.n_future)
+    result = lanc.run(prepared.reference, prepared.disturbance_at_ear,
+                      secondary_path_true=prepared.secondary_path_true)
+
+    # Decompose the mic signal into its two components: ambient d(t) and
+    # the anti-noise as heard at the mic (= error − ambient).
+    ambient = prepared.disturbance_at_ear
+    anti_at_mic = result.error - ambient
+
+    coupling = EarCanalCoupling(sample_rate=fs,
+                                mismatch_delay_s=mismatch_delay_s,
+                                mismatch_tilt_db=mismatch_tilt_db)
+    calibrated = coupling.calibrated()
+
+    drum_open = coupling.ambient_to_drum(prepared.disturbance_open)
+    drum_residual = coupling.drum_pressure(ambient, anti_at_mic)
+    drum_calibrated = calibrated.drum_pressure(ambient, anti_at_mic)
+
+    kwargs = dict(sample_rate=fs, settle_fraction=settle_fraction)
+    curves = {
+        "at error mic": measure_cancellation(
+            prepared.disturbance_open, result.error,
+            label="at error mic", **kwargs),
+        "at eardrum": measure_cancellation(
+            drum_open, drum_residual, label="at eardrum", **kwargs),
+        "at eardrum, calibrated": measure_cancellation(
+            drum_open, drum_calibrated,
+            label="at eardrum, calibrated", **kwargs),
+    }
+    return EarModelResult(
+        curves=curves,
+        mic_mean_db=curves["at error mic"].mean_db(),
+        drum_mean_db=curves["at eardrum"].mean_db(),
+        calibrated_mean_db=curves["at eardrum, calibrated"].mean_db(),
+    )

@@ -1,0 +1,108 @@
+"""Figure 12 — overall noise cancellation, four schemes, white noise.
+
+Reproduces the paper's headline comparison: wide-band white noise at
+~67 dB SPL; cancellation-vs-frequency for
+
+* **Bose_Active** — delay-limited active stage only (effective <1 kHz),
+* **Bose_Overall** — active + passive earcup (≈ −15 dB average),
+* **MUTE_Hollow** — LANC with an open ear (within ~1 dB of Bose_Overall),
+* **MUTE+Passive** — LANC under the same earcup (several dB better).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...core.baselines import BoseHeadphone
+from ..metrics import CancellationCurve, measure_cancellation
+from ..reporting import format_curves, format_table
+from .common import (
+    DEFAULT_DURATION_S,
+    bench_scenario,
+    build_system,
+    white_noise,
+)
+
+__all__ = ["Fig12Result", "run_fig12"]
+
+
+@dataclasses.dataclass
+class Fig12Result:
+    """Curves and headline deltas for Figure 12."""
+
+    curves: dict                      # label -> CancellationCurve
+    mute_vs_bose_active_sub1k_db: float   # paper: −6.7 dB (MUTE better)
+    mute_hollow_vs_bose_overall_db: float  # paper: +0.9 dB (Bose better)
+    mute_passive_vs_bose_overall_db: float  # paper: −8.9 dB (MUTE better)
+
+    def report(self):
+        """The figure as a banded table plus the headline numbers."""
+        table = format_curves(list(self.curves.values()), title=(
+            "Figure 12 — cancellation vs frequency, white noise "
+            "(negative = quieter)"
+        ))
+        headline = format_table(
+            ["comparison", "dB (negative = MUTE better)", "paper"],
+            [
+                ("MUTE_Hollow - Bose_Active, [0,1] kHz",
+                 f"{self.mute_vs_bose_active_sub1k_db:+.1f}", "-6.7"),
+                ("MUTE_Hollow - Bose_Overall, [0,4] kHz",
+                 f"{self.mute_hollow_vs_bose_overall_db:+.1f}", "+0.9"),
+                ("MUTE+Passive - Bose_Overall, [0,4] kHz",
+                 f"{self.mute_passive_vs_bose_overall_db:+.1f}", "-8.9"),
+            ],
+            title="Headline comparisons",
+        )
+        return table + "\n\n" + headline
+
+
+def run_fig12(duration_s=DEFAULT_DURATION_S, seed=7, scenario=None,
+              settle_fraction=0.5):
+    """Run all four schemes over the same white-noise take."""
+    scenario = scenario or bench_scenario()
+    noise = white_noise(sample_rate=scenario.sample_rate, seed=seed) \
+        .generate(duration_s)
+
+    # MUTE runs (hollow and passive share the scene and the noise take).
+    hollow = build_system(scenario)
+    hollow_run = hollow.run(noise)
+    d_open = hollow_run.disturbance_open
+
+    passive = build_system(scenario, earcup="bose")
+    passive_run = passive.run(noise)
+
+    # Bose models applied to the identical open-ear disturbance.
+    bose = BoseHeadphone(sample_rate=scenario.sample_rate)
+    bose_active_residual = bose.active.residual_waveform(
+        d_open, scenario.sample_rate
+    )
+    bose_overall_residual = bose.residual_waveform(d_open)
+
+    kwargs = dict(sample_rate=scenario.sample_rate,
+                  settle_fraction=settle_fraction)
+    curves = {
+        "Bose_Active": measure_cancellation(
+            d_open, bose_active_residual, label="Bose_Active", **kwargs),
+        "Bose_Overall": measure_cancellation(
+            d_open, bose_overall_residual, label="Bose_Overall", **kwargs),
+        "MUTE_Hollow": measure_cancellation(
+            d_open, hollow_run.residual, label="MUTE_Hollow", **kwargs),
+        "MUTE+Passive": measure_cancellation(
+            d_open, passive_run.residual, label="MUTE+Passive", **kwargs),
+    }
+
+    return Fig12Result(
+        curves=curves,
+        mute_vs_bose_active_sub1k_db=(
+            curves["MUTE_Hollow"].mean_db(0, 1000)
+            - curves["Bose_Active"].mean_db(0, 1000)
+        ),
+        mute_hollow_vs_bose_overall_db=(
+            curves["MUTE_Hollow"].mean_db()
+            - curves["Bose_Overall"].mean_db()
+        ),
+        mute_passive_vs_bose_overall_db=(
+            curves["MUTE+Passive"].mean_db()
+            - curves["Bose_Overall"].mean_db()
+        ),
+    )

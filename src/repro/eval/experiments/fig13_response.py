@@ -1,0 +1,85 @@
+"""Figure 13 — combined frequency response of the anti-noise speaker
+and microphone.
+
+The paper measures the response of its cheap transducers to explain the
+diminishing cancellation below ~100 Hz in Figure 12.  We reproduce the
+curve from the parametric transducer model and verify the same two
+properties the paper reads off it: near-zero response at very low
+frequency and a broad usable mid band.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ...hardware.transducers import cheap_transducer
+from ...signals import ToneSweep
+from ..reporting import format_table, sparkline
+
+__all__ = ["Fig13Result", "run_fig13"]
+
+
+@dataclasses.dataclass
+class Fig13Result:
+    """The response curve plus summary landmarks."""
+
+    freqs: np.ndarray
+    response: np.ndarray          # linear magnitude (paper's y-axis)
+    measured_response: np.ndarray  # swept-tone measurement through the FIR
+    peak_hz: float
+    response_at_50hz: float
+    response_at_peak: float
+
+    def report(self):
+        rows = [
+            (f"{f:.0f}", f"{r:.3f}", f"{m:.3f}")
+            for f, r, m in zip(self.freqs[::4], self.response[::4],
+                               self.measured_response[::4])
+        ]
+        table = format_table(
+            ["freq (Hz)", "model response", "swept-tone measured"],
+            rows,
+            title="Figure 13 — combined speaker+mic frequency response",
+        )
+        summary = (
+            f"\npeak {self.response_at_peak:.3f} at {self.peak_hz:.0f} Hz; "
+            f"response at 50 Hz = {self.response_at_50hz:.4f} "
+            "(the paper's low-frequency weakness)\n"
+            + sparkline(self.response)
+        )
+        return table + summary
+
+
+def run_fig13(sample_rate=8000.0, n_points=64, sweep_duration_s=4.0):
+    """Model curve + an actual swept-tone measurement through the FIR."""
+    transducer = cheap_transducer(sample_rate=sample_rate)
+    freqs, response = transducer.response_table(n_points=n_points)
+
+    # Independent check: drive a slow chirp through the FIR realization
+    # and read the output envelope at each instantaneous frequency.
+    sweep = ToneSweep(f_start=30.0, f_end=sample_rate / 2.0 * 0.97,
+                      sample_rate=sample_rate, level_rms=0.5)
+    probe = sweep.generate(sweep_duration_s)
+    out = transducer.apply(probe)
+    # Instantaneous frequency of the linear chirp is linear in time.
+    inst_freq = np.linspace(sweep.f_start, sweep.f_end, probe.size)
+    window = max(int(0.02 * sample_rate), 1)
+    envelope = np.sqrt(np.convolve(out ** 2, np.full(window, 1.0 / window),
+                                   mode="same"))
+    probe_env = np.sqrt(np.convolve(probe ** 2,
+                                    np.full(window, 1.0 / window),
+                                    mode="same"))
+    gain = envelope / np.maximum(probe_env, 1e-9)
+    measured = np.interp(freqs, inst_freq, gain)
+
+    peak_idx = int(np.argmax(response))
+    return Fig13Result(
+        freqs=freqs,
+        response=response,
+        measured_response=measured,
+        peak_hz=float(freqs[peak_idx]),
+        response_at_50hz=float(np.interp(50.0, freqs, response)),
+        response_at_peak=float(response[peak_idx]),
+    )

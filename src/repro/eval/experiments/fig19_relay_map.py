@@ -1,0 +1,120 @@
+"""Figure 19 — relay association across noise-source positions.
+
+The client sits at the room center with three relays around the edges.
+For each candidate noise-source position the client runs GCC-PHAT
+against every relay and associates with the one offering the largest
+positive lookahead; sources closer to the client than to any relay must
+yield *no* association.  The paper's map shows both behaviors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...acoustics.geometry import Point, Room
+from ...acoustics.rir import RirSettings
+from ...core.relay_selection import RelaySelector
+from ...core.scenario import Scenario
+from ...core.system import MuteConfig, MuteSystem
+from ...signals import WhiteNoise
+from ..reporting import format_table
+
+__all__ = ["Fig19Result", "run_fig19", "relay_map_scenario"]
+
+
+def relay_map_scenario(sample_rate=8000.0):
+    """Client at room center, three relays around the edges (Figure 19)."""
+    room = Room(6.0, 5.0, 3.0, absorption=0.5)
+    client = Point(3.0, 2.5, 1.2)
+    relays = (
+        Point(0.6, 0.6, 1.4),    # relay 1: near corner
+        Point(5.4, 0.8, 1.4),    # relay 2: opposite corner
+        Point(3.0, 4.4, 1.4),    # relay 3: mid far wall
+    )
+    # Any source position works for construction; experiments replace it.
+    return Scenario(room=room, source=Point(1.0, 1.0, 1.3), client=client,
+                    relays=relays, sample_rate=sample_rate,
+                    rir_settings=RirSettings(max_order=2))
+
+
+def default_source_positions():
+    """Source positions: two near each relay, two near the client."""
+    return {
+        "near relay 1 (a)": Point(0.9, 1.0, 1.3),
+        "near relay 1 (b)": Point(1.3, 0.7, 1.3),
+        "near relay 2 (a)": Point(5.1, 1.2, 1.3),
+        "near relay 2 (b)": Point(4.9, 0.7, 1.3),
+        "near relay 3 (a)": Point(3.2, 4.1, 1.3),
+        "near relay 3 (b)": Point(2.6, 4.2, 1.3),
+        "near client (a)": Point(3.1, 2.2, 1.3),
+        "near client (b)": Point(2.7, 2.8, 1.3),
+    }
+
+
+@dataclasses.dataclass
+class Fig19Result:
+    """Association decision per source position."""
+
+    decisions: dict       # position label -> selected relay index or None
+    expected: dict        # position label -> geometric expectation
+    measurements: dict    # position label -> {relay: LookaheadMeasurement}
+
+    def accuracy(self):
+        """Fraction of positions where selection matches geometry."""
+        hits = sum(
+            1 for label in self.decisions
+            if self.decisions[label] == self.expected[label]
+        )
+        return hits / len(self.decisions)
+
+    def report(self):
+        rows = []
+        for label in self.decisions:
+            got = self.decisions[label]
+            want = self.expected[label]
+            rows.append((
+                label,
+                "none" if got is None else f"relay {got + 1}",
+                "none" if want is None else f"relay {want + 1}",
+                "ok" if got == want else "MISS",
+            ))
+        table = format_table(
+            ["source position", "selected", "expected (geometry)", ""],
+            rows,
+            title="Figure 19 — relay association map",
+        )
+        return table + f"\naccuracy: {self.accuracy() * 100:.0f}%"
+
+
+def _geometric_expectation(scenario, source, min_margin_m=0.0):
+    """Which relay geometry says should win (None if client is nearest)."""
+    d_client = source.distance_to(scenario.client)
+    best, best_lead = None, min_margin_m
+    for i, relay in enumerate(scenario.relays):
+        lead_m = d_client - source.distance_to(relay)
+        if lead_m > best_lead:
+            best, best_lead = i, lead_m
+    return best
+
+
+def run_fig19(duration_s=1.5, seed=17, positions=None, scenario=None):
+    """Sweep source positions; compare selection against geometry."""
+    scenario = scenario or relay_map_scenario()
+    positions = positions or default_source_positions()
+    selector = RelaySelector(sample_rate=scenario.sample_rate,
+                             min_confidence=3.0)
+    noise_src = WhiteNoise(sample_rate=scenario.sample_rate, level_rms=0.1,
+                           seed=seed)
+    noise = noise_src.generate(duration_s)
+
+    decisions, expected, measurements = {}, {}, {}
+    for label, source in positions.items():
+        scen = scenario.with_source(source)
+        system = MuteSystem(scen, MuteConfig(probe_secondary=False))
+        forwarded, ear = system.forwarded_and_ear_signals(noise)
+        best, measured = selector.select(forwarded, ear, max_lag_s=0.02)
+        decisions[label] = best
+        expected[label] = _geometric_expectation(scen, source)
+        measurements[label] = measured
+    return Fig19Result(decisions=decisions, expected=expected,
+                       measurements=measurements)

@@ -1,0 +1,78 @@
+"""Headline summary table — the paper's §1/§5.2 bullet numbers.
+
+The paper has no numbered tables; its headline comparisons are stated in
+the text.  This runner gathers them from the Figure 12 and Figure 17
+experiments into one table:
+
+* MUTE beats Bose_Active by 6.7 dB within 1 kHz;
+* MUTE_Hollow is 0.9 dB behind Bose_Overall (open ear!);
+* MUTE+Passive beats Bose_Overall by 8.9 dB;
+* profiling adds ~3 dB for intermittent sounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..reporting import format_table
+from .fig12_overall import run_fig12
+from .fig17_profiling import run_fig17
+
+__all__ = ["HeadlineResult", "run_headline"]
+
+
+@dataclasses.dataclass
+class HeadlineResult:
+    """Measured vs paper headline numbers."""
+
+    mute_vs_bose_active_sub1k_db: float
+    mute_hollow_vs_bose_overall_db: float
+    mute_passive_vs_bose_overall_db: float
+    profiling_gain_db: float
+
+    PAPER = {
+        "mute_vs_bose_active_sub1k_db": -6.7,
+        "mute_hollow_vs_bose_overall_db": +0.9,
+        "mute_passive_vs_bose_overall_db": -8.9,
+        "profiling_gain_db": -3.0,
+    }
+
+    def rows(self):
+        labels = {
+            "mute_vs_bose_active_sub1k_db":
+                "MUTE_Hollow vs Bose_Active, [0,1] kHz",
+            "mute_hollow_vs_bose_overall_db":
+                "MUTE_Hollow vs Bose_Overall, [0,4] kHz",
+            "mute_passive_vs_bose_overall_db":
+                "MUTE+Passive vs Bose_Overall, [0,4] kHz",
+            "profiling_gain_db":
+                "profile switching gain (intermittent noise)",
+        }
+        out = []
+        for key, label in labels.items():
+            measured = getattr(self, key)
+            paper = self.PAPER[key]
+            out.append((label, f"{measured:+.1f}", f"{paper:+.1f}",
+                        "same sign" if measured * paper > 0 or paper == 0
+                        else "SIGN FLIP"))
+        return out
+
+    def report(self):
+        return format_table(
+            ["comparison (negative = MUTE better)", "measured dB",
+             "paper dB", "check"],
+            self.rows(),
+            title="Headline numbers — measured vs paper",
+        )
+
+
+def run_headline(duration_s=8.0, seed=7):
+    """Regenerate every headline number from fresh runs."""
+    fig12 = run_fig12(duration_s=duration_s, seed=seed)
+    fig17 = run_fig17(duration_s=max(duration_s, 12.0), seed=seed + 24)
+    return HeadlineResult(
+        mute_vs_bose_active_sub1k_db=fig12.mute_vs_bose_active_sub1k_db,
+        mute_hollow_vs_bose_overall_db=fig12.mute_hollow_vs_bose_overall_db,
+        mute_passive_vs_bose_overall_db=fig12.mute_passive_vs_bose_overall_db,
+        profiling_gain_db=fig17.mean_additional_db,
+    )

@@ -1,0 +1,92 @@
+"""Timing analysis — Figure 5 and Equations 3–4 as numbers.
+
+Two questions the paper's §3.1 answers, reproduced quantitatively:
+
+1. Does a conventional headphone meet its ~30 µs deadline?  (No: the
+   pipeline is ~3× over budget, so the anti-noise plays late.)
+2. How much lookahead does MUTE get as the relay's distance advantage
+   grows?  (≈3 ms per meter, Eq. 4 — enough to subsume every delay.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...acoustics.constants import CONVENTIONAL_ANC_BUDGET_S
+from ...core.lookahead import LookaheadBudget, lookahead_seconds
+from ...hardware.dsp_board import fast_dsp, headphone_dsp, tms320c6713
+from ..reporting import format_table
+
+__all__ = ["TimingResult", "run_timing"]
+
+
+@dataclasses.dataclass
+class TimingResult:
+    """Deadline verdicts per device and the Eq. 4 lookahead table."""
+
+    device_rows: list      # (name, pipeline µs, budget/lookahead µs, verdict, lag µs)
+    distance_rows: list    # (advantage m, lookahead ms, future taps @8k)
+    headphone_overrun_ratio: float   # paper: "easily 3x"
+
+    def report(self):
+        devices = format_table(
+            ["device", "pipeline (µs)", "available lookahead (µs)",
+             "meets Eq.3?", "anti-noise lag (µs)"],
+            self.device_rows,
+            title="Figure 5 / Eq. 3 — timing budgets",
+        )
+        distances = format_table(
+            ["relay advantage d_e - d_r (m)", "lookahead (ms)",
+             "future taps at 8 kHz"],
+            self.distance_rows,
+            title="Eq. 4 — lookahead vs relay placement",
+        )
+        return (
+            devices
+            + f"\nheadphone pipeline / acoustic budget = "
+              f"{self.headphone_overrun_ratio:.1f}x (paper: ~3x)\n\n"
+            + distances
+        )
+
+
+def run_timing(sample_rate=8000.0, bench_lead_s=8.5e-3):
+    """Build both tables from the hardware models."""
+    headphone = headphone_dsp()
+    mute_board = tms320c6713()
+    fast = fast_dsp()
+
+    device_rows = []
+    cases = [
+        (f"{headphone.name} (conventional)", headphone,
+         CONVENTIONAL_ANC_BUDGET_S),
+        (f"{mute_board.name} (MUTE bench)", mute_board, bench_lead_s),
+        (f"{fast.name} (MUTE, faster DSP)", fast, bench_lead_s),
+    ]
+    for label, board, lookahead_s in cases:
+        budget = LookaheadBudget(
+            acoustic_lead_s=lookahead_s,
+            pipeline_latency_s=board.total_latency_s,
+        )
+        device_rows.append((
+            label,
+            f"{board.total_latency_s * 1e6:.0f}",
+            f"{lookahead_s * 1e6:.0f}",
+            "yes" if budget.meets_deadline else "NO",
+            f"{budget.playback_lag_s * 1e6:.0f}",
+        ))
+
+    distance_rows = []
+    for advantage_m in (0.25, 0.5, 1.0, 2.0, 3.0):
+        lead = lookahead_seconds(advantage_m, 0.0)
+        distance_rows.append((
+            f"{advantage_m:.2f}",
+            f"{lead * 1e3:.2f}",
+            int(lead * sample_rate),
+        ))
+
+    return TimingResult(
+        device_rows=device_rows,
+        distance_rows=distance_rows,
+        headphone_overrun_ratio=(headphone.total_latency_s
+                                 / CONVENTIONAL_ANC_BUDGET_S),
+    )

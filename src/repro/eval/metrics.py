@@ -1,0 +1,117 @@
+"""Measurement helpers shared by the experiment runners.
+
+Everything the paper's figures put on their axes lives here: banded
+cancellation curves, band averages, convergence envelopes, and the
+"additional cancellation" delta of Figure 17.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import SignalError
+from ..utils.spectral import cancellation_spectrum_db, smooth_spectrum_db
+from ..utils.validation import check_positive, check_waveform
+
+__all__ = [
+    "CancellationCurve",
+    "measure_cancellation",
+    "band_means",
+    "additional_cancellation_db",
+    "convergence_envelope",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CancellationCurve:
+    """A cancellation-vs-frequency series (one line on a paper figure)."""
+
+    label: str
+    freqs: np.ndarray
+    values_db: np.ndarray
+
+    def __post_init__(self):
+        if self.freqs.shape != self.values_db.shape:
+            raise SignalError("freqs and values must match in shape")
+
+    def mean_db(self, f_low=0.0, f_high=None):
+        """Band-average cancellation."""
+        f_high = f_high if f_high is not None else float(self.freqs[-1])
+        mask = (self.freqs >= f_low) & (self.freqs <= f_high)
+        mask &= ~np.isnan(self.values_db)
+        if not np.any(mask):
+            raise SignalError(f"no signal-carrying bins in [{f_low}, {f_high}] Hz")
+        return float(np.mean(self.values_db[mask]))
+
+    def at(self, freq_hz):
+        """Cancellation at the bin nearest ``freq_hz``."""
+        idx = int(np.argmin(np.abs(self.freqs - freq_hz)))
+        return float(self.values_db[idx])
+
+    def smoothed(self, window=5):
+        """A copy with the dB values smoothed for plotting."""
+        return CancellationCurve(
+            label=self.label,
+            freqs=self.freqs.copy(),
+            values_db=smooth_spectrum_db(self.values_db, window=window),
+        )
+
+
+def measure_cancellation(before, after, sample_rate, label="",
+                         settle_fraction=0.3, nperseg=512, smooth=5,
+                         min_signal_db=-45.0):
+    """Build a :class:`CancellationCurve` from off/on recordings.
+
+    ``min_signal_db`` masks PSD bins carrying no noise (see
+    :func:`repro.utils.spectral.cancellation_spectrum_db`): sparse
+    sources like music only show cancellation where they have energy.
+    """
+    before = check_waveform("before", before, min_length=64)
+    after = check_waveform("after", after, min_length=64)
+    sample_rate = check_positive("sample_rate", sample_rate)
+    start_b = int(before.size * settle_fraction)
+    start_a = int(after.size * settle_fraction)
+    freqs, spec = cancellation_spectrum_db(
+        before[start_b:], after[start_a:], sample_rate, nperseg=nperseg,
+        min_signal_db=min_signal_db,
+    )
+    if smooth and smooth > 1:
+        spec = smooth_spectrum_db(spec, window=smooth)
+    return CancellationCurve(label=label, freqs=freqs, values_db=spec)
+
+
+def band_means(curve, edges):
+    """Mean cancellation per band; ``edges`` like ``[0, 500, 1000, ...]``."""
+    edges = np.asarray(edges, dtype=float)
+    out = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        out.append(((float(lo), float(hi)), curve.mean_db(lo, hi)))
+    return out
+
+
+def additional_cancellation_db(curve_with, curve_without):
+    """Figure 17's y-axis: gain of scheme A over scheme B, per frequency.
+
+    Negative values mean ``curve_with`` cancels *more*.
+    """
+    if curve_with.freqs.shape != curve_without.freqs.shape:
+        raise SignalError("curves must share a frequency grid")
+    return CancellationCurve(
+        label=f"{curve_with.label} minus {curve_without.label}",
+        freqs=curve_with.freqs.copy(),
+        values_db=curve_with.values_db - curve_without.values_db,
+    )
+
+
+def convergence_envelope(error, sample_rate, window_s=0.05):
+    """(times_s, rms) sliding-RMS envelope — Figure 8's plots."""
+    error = check_waveform("error", error, min_length=8)
+    sample_rate = check_positive("sample_rate", sample_rate)
+    window = max(int(window_s * sample_rate), 1)
+    squared = np.square(error)
+    kernel = np.full(window, 1.0 / window)
+    envelope = np.sqrt(np.convolve(squared, kernel, mode="same"))
+    times = np.arange(error.size) / sample_rate
+    return times, envelope

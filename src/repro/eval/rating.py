@@ -1,0 +1,106 @@
+"""Psychoacoustic rating model — the Figure 15 substitute for volunteers.
+
+The paper asked 5 volunteers to rate cancellation quality 1–5.  Without
+humans, we model the rating as a function of *A-weighted residual
+loudness* (what the listener actually perceives), with per-subject
+sensitivity and offset drawn from a seeded generator:
+
+    score = clip(base − slope_subject * (loudness − anchor) + bias_subject)
+
+The model's purpose is the figure's *qualitative* claim — every subject
+rates the quieter residual higher — while producing plausible 1–5 star
+spreads.  It is deliberately simple and fully documented as a
+substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.spectral import a_weighting_db, welch_psd
+from ..utils.validation import check_positive, check_positive_int, check_waveform
+
+__all__ = ["a_weighted_level_db", "RatingModel", "SubjectRating"]
+
+
+def a_weighted_level_db(signal, sample_rate):
+    """A-weighted level of a residual recording, in dB (arbitrary ref).
+
+    Integrates the Welch PSD under the IEC A-weighting curve.
+    """
+    signal = check_waveform("signal", signal, min_length=64)
+    sample_rate = check_positive("sample_rate", sample_rate)
+    freqs, psd = welch_psd(signal, sample_rate)
+    weights = 10.0 ** (a_weighting_db(freqs) / 10.0)
+    power = float(np.sum(psd * weights))
+    return 10.0 * np.log10(max(power, 1e-20))
+
+
+@dataclasses.dataclass(frozen=True)
+class SubjectRating:
+    """One subject's score for one condition."""
+
+    subject_id: int
+    condition: str
+    score: float          # 1.0 … 5.0 (half-star granularity)
+    loudness_db: float    # the A-weighted level that produced it
+
+
+class RatingModel:
+    """Map residual recordings to 1–5 star ratings for N subjects.
+
+    Parameters
+    ----------
+    n_subjects:
+        Number of simulated volunteers (the paper used 5).
+    anchor_db:
+        A-weighted level that earns the midpoint score of 3.0.
+    slope_db_per_star:
+        How many dB of loudness change move the score by one star
+        (mean across subjects; each subject varies ±20%).
+    seed:
+        Controls per-subject offsets and sensitivity jitter.
+    """
+
+    def __init__(self, n_subjects=5, anchor_db=-18.0, slope_db_per_star=6.0,
+                 seed=0):
+        self.n_subjects = check_positive_int("n_subjects", n_subjects)
+        self.anchor_db = float(anchor_db)
+        self.slope = check_positive("slope_db_per_star", slope_db_per_star)
+        rng = np.random.default_rng(seed)
+        self._sensitivity = 1.0 + 0.2 * rng.standard_normal(self.n_subjects)
+        self._bias = 0.3 * rng.standard_normal(self.n_subjects)
+
+    def rate(self, residual, sample_rate, condition=""):
+        """Score a residual recording for every subject.
+
+        Returns a list of :class:`SubjectRating`, one per subject, with
+        scores rounded to half stars and clipped to [1, 5].
+        """
+        loudness = a_weighted_level_db(residual, sample_rate)
+        ratings = []
+        for subject in range(self.n_subjects):
+            raw = (3.0
+                   - self._sensitivity[subject]
+                   * (loudness - self.anchor_db) / self.slope
+                   + self._bias[subject])
+            score = float(np.clip(np.round(raw * 2.0) / 2.0, 1.0, 5.0))
+            ratings.append(SubjectRating(
+                subject_id=subject + 1,
+                condition=condition,
+                score=score,
+                loudness_db=loudness,
+            ))
+        return ratings
+
+    def compare(self, residuals_by_condition, sample_rate):
+        """Rate several conditions; returns ``{condition: [ratings]}``."""
+        if not residuals_by_condition:
+            raise ConfigurationError("no conditions supplied")
+        return {
+            condition: self.rate(residual, sample_rate, condition)
+            for condition, residual in residuals_by_condition.items()
+        }

@@ -1,0 +1,100 @@
+"""ASCII reporting: the benches print the same rows/series the paper plots.
+
+No plotting dependencies are available offline, so every figure is
+rendered as a table of (frequency, dB) rows plus, where it helps, a
+small ASCII sparkline — enough to read off who wins, by how much, and
+where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["format_table", "format_series", "sparkline", "format_curves"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width table; all cells stringified."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values, lo=None, hi=None):
+    """Unicode sparkline of a numeric series (NaN renders as space)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    nan_mask = np.isnan(values)
+    if nan_mask.all():
+        return " " * values.size
+    values = np.where(nan_mask, np.nanmin(values), values)
+    lo = float(np.min(values)) if lo is None else lo
+    hi = float(np.max(values)) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_CHARS[0] * values.size
+    scaled = (values - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_SPARK_CHARS) - 1)).round().astype(int),
+                      0, len(_SPARK_CHARS) - 1)
+    chars = [_SPARK_CHARS[i] for i in indices]
+    for i in np.flatnonzero(nan_mask):
+        chars[i] = " "
+    return "".join(chars)
+
+
+def format_series(label, freqs, values_db, step_hz=500.0):
+    """One figure line as banded rows plus a sparkline."""
+    freqs = np.asarray(freqs, dtype=float)
+    values_db = np.asarray(values_db, dtype=float)
+    rows = []
+    edges = np.arange(0.0, float(freqs[-1]) + step_hz, step_hz)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (freqs >= lo) & (freqs < hi) & ~np.isnan(values_db)
+        if np.any(mask):
+            rows.append((f"{lo:.0f}-{hi:.0f} Hz",
+                         f"{float(np.mean(values_db[mask])):.1f}"))
+    table = format_table(["band", f"{label} (dB)"], rows)
+    return table + "\n" + label + " " + sparkline(values_db)
+
+
+def format_curves(curves, step_hz=500.0, title=None):
+    """Several :class:`CancellationCurve`-likes side by side (one figure)."""
+    if not curves:
+        raise ConfigurationError("no curves to format")
+    freqs = np.asarray(curves[0].freqs, dtype=float)
+    edges = np.arange(0.0, float(freqs[-1]) + step_hz, step_hz)
+    headers = ["band (Hz)"] + [c.label for c in curves]
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        row = [f"{lo:.0f}-{hi:.0f}"]
+        for curve in curves:
+            f = np.asarray(curve.freqs, dtype=float)
+            v = np.asarray(curve.values_db, dtype=float)
+            mask = (f >= lo) & (f < hi) & ~np.isnan(v)
+            row.append(f"{float(np.mean(v[mask])):.1f}" if np.any(mask)
+                       else "-")
+        rows.append(row)
+    mean_row = ["mean"] + [f"{c.mean_db():.1f}" for c in curves]
+    rows.append(mean_row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,31 @@
+"""Hardware models: converters, DSP latency budgets, transducers, earcups."""
+
+from .converters import Adc, Dac, quantize
+from .ear import EarCanalCoupling
+from .dsp_board import (
+    HEADPHONE_ACOUSTIC_BUDGET_S,
+    DspBoard,
+    fast_dsp,
+    headphone_dsp,
+    tms320c6713,
+)
+from .headphone import PassiveEarcup, bose_qc35_earcup, no_earcup
+from .transducers import TransducerResponse, cheap_transducer, flat_transducer
+
+__all__ = [
+    "Adc",
+    "EarCanalCoupling",
+    "Dac",
+    "quantize",
+    "HEADPHONE_ACOUSTIC_BUDGET_S",
+    "DspBoard",
+    "fast_dsp",
+    "headphone_dsp",
+    "tms320c6713",
+    "PassiveEarcup",
+    "bose_qc35_earcup",
+    "no_earcup",
+    "TransducerResponse",
+    "cheap_transducer",
+    "flat_transducer",
+]

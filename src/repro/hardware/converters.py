@@ -1,0 +1,83 @@
+"""ADC/DAC models: latency and quantization.
+
+The paper's timing analysis (§3.1, Eq. 3) charges the ANC pipeline for
+ADC, DSP, DAC and speaker delays; these converters make those delays
+concrete and add the quantization floor of a real codec (the paper's
+board carries a TLV320AIC23 codec; we default to 16-bit resolution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_waveform,
+)
+
+__all__ = ["quantize", "Adc", "Dac"]
+
+
+def quantize(signal, bits, full_scale=1.0):
+    """Uniform mid-tread quantization to ``bits`` bits over ±``full_scale``.
+
+    Values beyond full scale clip, as a real codec would.
+    """
+    signal = check_waveform("signal", signal)
+    bits = check_positive_int("bits", bits)
+    if bits > 32:
+        raise ConfigurationError("bits must be <= 32")
+    full_scale = check_positive("full_scale", full_scale)
+    levels = 2 ** (bits - 1)
+    step = full_scale / levels
+    clipped = np.clip(signal, -full_scale, full_scale - step)
+    return np.round(clipped / step) * step
+
+
+class Adc:
+    """Analog-to-digital converter: group delay + quantization.
+
+    Parameters
+    ----------
+    sample_rate:
+        Converter rate in Hz.
+    latency_s:
+        Conversion/group delay in seconds (sigma-delta codecs are
+        typically a dozen samples).
+    bits:
+        Resolution; ``None`` disables quantization.
+    """
+
+    def __init__(self, sample_rate=8000.0, latency_s=12 / 8000.0, bits=16,
+                 full_scale=4.0):
+        self.sample_rate = check_positive("sample_rate", sample_rate)
+        self.latency_s = check_non_negative("latency_s", latency_s)
+        self.bits = None if bits is None else check_positive_int("bits", bits)
+        self.full_scale = check_positive("full_scale", full_scale)
+
+    @property
+    def latency_samples(self):
+        """Latency in whole samples at the converter rate."""
+        return int(round(self.latency_s * self.sample_rate))
+
+    def convert(self, signal):
+        """Digitize a waveform: delay then quantize."""
+        signal = check_waveform("signal", signal)
+        delayed = np.zeros_like(signal)
+        d = self.latency_samples
+        if d < signal.size:
+            delayed[d:] = signal[: signal.size - d]
+        if self.bits is None:
+            return delayed
+        return quantize(delayed, self.bits, self.full_scale)
+
+
+class Dac(Adc):
+    """Digital-to-analog converter — same latency/quantization model.
+
+    Kept as a distinct type so latency budgets read naturally
+    (``adc.latency_s + dsp.processing_delay_s + dac.latency_s``).
+    """

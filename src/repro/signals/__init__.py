@@ -1,0 +1,39 @@
+"""Noise-source signal generators (white noise, speech, music, ...)."""
+
+from .base import SignalSource, Silence, duration_to_samples, normalize_rms
+from .construction import ConstructionNoise
+from .mixtures import IntermittentSource, mix, segments_from_mask
+from .music import PENTATONIC_A_MINOR, SyntheticMusic
+from .noise import BandlimitedNoise, PinkNoise, WhiteNoise
+from .speech import (
+    VOWEL_FORMANTS,
+    FemaleVoice,
+    MaleVoice,
+    SyntheticSpeech,
+)
+from .tones import HarmonicStack, MachineHum, MultiTone, Tone, ToneSweep
+
+__all__ = [
+    "SignalSource",
+    "Silence",
+    "duration_to_samples",
+    "normalize_rms",
+    "ConstructionNoise",
+    "IntermittentSource",
+    "mix",
+    "segments_from_mask",
+    "PENTATONIC_A_MINOR",
+    "SyntheticMusic",
+    "BandlimitedNoise",
+    "PinkNoise",
+    "WhiteNoise",
+    "VOWEL_FORMANTS",
+    "FemaleVoice",
+    "MaleVoice",
+    "SyntheticSpeech",
+    "HarmonicStack",
+    "MachineHum",
+    "MultiTone",
+    "Tone",
+    "ToneSweep",
+]

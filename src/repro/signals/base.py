@@ -1,0 +1,123 @@
+"""Base classes for noise-source signal generators.
+
+Every experiment in the paper plays a *noise source* (white noise, speech,
+music, construction sound, machine hum) from an ambient speaker.  A
+:class:`SignalSource` produces such a waveform deterministically from a
+seed, so experiments are exactly reproducible.
+
+All sources share three conventions:
+
+* mono float64 waveforms at the source's ``sample_rate``;
+* ``generate(duration)`` returns a freshly generated waveform scaled to
+  the source's ``level_rms``;
+* randomness comes only from the ``seed`` given at construction.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.units import rms as _rms
+from ..utils.validation import check_positive
+
+__all__ = ["SignalSource", "Silence", "normalize_rms", "duration_to_samples"]
+
+
+def duration_to_samples(duration, sample_rate):
+    """Convert a duration in seconds to a (positive) sample count."""
+    duration = check_positive("duration", duration)
+    sample_rate = check_positive("sample_rate", sample_rate)
+    n = int(round(duration * sample_rate))
+    if n <= 0:
+        raise ConfigurationError(
+            f"duration {duration}s at {sample_rate} Hz yields no samples"
+        )
+    return n
+
+
+def normalize_rms(signal, target_rms):
+    """Scale ``signal`` to the requested RMS; silence passes through."""
+    signal = np.asarray(signal, dtype=np.float64)
+    current = float(np.sqrt(np.mean(np.square(signal)))) if signal.size else 0.0
+    if current <= 0.0:
+        return signal.copy()
+    return signal * (target_rms / current)
+
+
+class SignalSource(abc.ABC):
+    """A reproducible mono sound source.
+
+    Parameters
+    ----------
+    sample_rate:
+        Sampling rate in Hz.  Experiments follow the paper's DSP and use
+        8000 Hz (cancellation band [0, 4] kHz).
+    level_rms:
+        RMS amplitude of the generated waveform.  Use
+        :func:`repro.utils.units.amplitude_for_spl` to express this as a
+        sound pressure level (the paper calibrates 67 dB SPL).
+    seed:
+        Seed for the internal random generator; equal seeds give equal
+        waveforms.
+    """
+
+    #: Human-readable name used in reports; subclasses override.
+    name = "source"
+
+    def __init__(self, sample_rate=8000.0, level_rms=1.0, seed=0):
+        self.sample_rate = check_positive("sample_rate", sample_rate)
+        self.level_rms = check_positive("level_rms", level_rms)
+        self.seed = seed
+
+    def _rng(self):
+        """A fresh deterministic generator (same waveform per call)."""
+        return np.random.default_rng(self.seed)
+
+    @abc.abstractmethod
+    def _raw(self, n_samples, rng):
+        """Produce ``n_samples`` of unscaled waveform."""
+
+    def generate(self, duration):
+        """Generate ``duration`` seconds of signal at ``level_rms``."""
+        n = duration_to_samples(duration, self.sample_rate)
+        return self.generate_samples(n)
+
+    def generate_samples(self, n_samples):
+        """Generate exactly ``n_samples`` samples at ``level_rms``."""
+        if n_samples <= 0:
+            raise ConfigurationError(f"n_samples must be > 0, got {n_samples}")
+        raw = self._raw(int(n_samples), self._rng())
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.shape != (int(n_samples),):
+            raise ConfigurationError(
+                f"{type(self).__name__}._raw returned shape {raw.shape}, "
+                f"expected ({n_samples},)"
+            )
+        return normalize_rms(raw, self.level_rms)
+
+    def measured_rms(self, duration=1.0):
+        """RMS of a generated excerpt (sanity hook for tests)."""
+        return _rms(self.generate(duration))
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(sample_rate={self.sample_rate}, "
+            f"level_rms={self.level_rms}, seed={self.seed})"
+        )
+
+
+class Silence(SignalSource):
+    """All-zero source (useful for schedules with quiet gaps)."""
+
+    name = "silence"
+
+    def _raw(self, n_samples, rng):
+        return np.zeros(n_samples)
+
+    def generate_samples(self, n_samples):
+        if n_samples <= 0:
+            raise ConfigurationError(f"n_samples must be > 0, got {n_samples}")
+        return np.zeros(int(n_samples))

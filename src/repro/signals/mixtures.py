@@ -1,0 +1,127 @@
+"""Source mixing and intermittency scheduling.
+
+The profiling experiment (Figure 17) plays wide-band background noise
+continuously from one speaker while intermittent speech plays from
+another.  :class:`IntermittentSource` gates any source with an on/off
+schedule, and :func:`mix` sums per-source waveforms sample-aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, SignalError
+from .base import SignalSource, duration_to_samples, normalize_rms
+
+__all__ = ["IntermittentSource", "mix", "segments_from_mask"]
+
+
+class IntermittentSource(SignalSource):
+    """Gate an inner source with alternating on/off intervals.
+
+    Parameters
+    ----------
+    source:
+        The :class:`SignalSource` to gate.
+    on_s / off_s:
+        Mean lengths (seconds) of active and silent intervals; actual
+        lengths vary ±40% (seeded).
+    ramp_s:
+        Raised-cosine ramp applied at each transition so the gating does
+        not itself inject clicks.
+    """
+
+    name = "intermittent"
+
+    def __init__(self, source, on_s=2.0, off_s=1.5, ramp_s=0.01, seed=1):
+        if not isinstance(source, SignalSource):
+            raise ConfigurationError("source must be a SignalSource")
+        super().__init__(sample_rate=source.sample_rate,
+                         level_rms=source.level_rms, seed=seed)
+        if on_s <= 0 or off_s < 0:
+            raise ConfigurationError("need on_s > 0 and off_s >= 0")
+        self.source = source
+        self.on_s = float(on_s)
+        self.off_s = float(off_s)
+        self.ramp_s = float(max(ramp_s, 0.0))
+        self.name = f"intermittent {source.name}"
+
+    def activity_mask(self, n_samples, rng=None):
+        """Boolean mask of active samples for ``n_samples`` samples."""
+        rng = rng if rng is not None else self._rng()
+        mask = np.zeros(n_samples, dtype=bool)
+        pos = 0
+        active = True
+        while pos < n_samples:
+            mean = self.on_s if active else self.off_s
+            if mean <= 0:
+                seg = 0
+            else:
+                seg = max(int(rng.uniform(0.6, 1.4) * mean * self.sample_rate), 1)
+            if active:
+                mask[pos:pos + seg] = True
+            pos += max(seg, 1)
+            active = not active
+        return mask
+
+    def _gate(self, mask):
+        """Convert the boolean mask to a ramped gain envelope."""
+        gate = mask.astype(np.float64)
+        ramp = int(self.ramp_s * self.sample_rate)
+        if ramp > 1:
+            kernel = np.hanning(2 * ramp + 1)
+            kernel /= kernel.sum()
+            gate = np.convolve(gate, kernel, mode="same")
+        return gate
+
+    def _raw(self, n_samples, rng):
+        inner = self.source.generate_samples(n_samples)
+        mask = self.activity_mask(n_samples, rng)
+        return inner * self._gate(mask)
+
+    def generate_with_activity(self, duration):
+        """Return ``(waveform, activity_mask)``.
+
+        The mask is the experiment's ground truth for when the gated
+        source is audible.
+        """
+        n = duration_to_samples(duration, self.sample_rate)
+        rng = self._rng()
+        inner = self.source.generate_samples(n)
+        mask = self.activity_mask(n, rng)
+        waveform = inner * self._gate(mask)
+        return normalize_rms(waveform, self.level_rms) if waveform.any() \
+            else waveform, mask
+
+
+def mix(*waveforms, gains=None):
+    """Sum equal-length waveforms with optional per-source gains."""
+    if not waveforms:
+        raise SignalError("mix requires at least one waveform")
+    length = len(waveforms[0])
+    for w in waveforms:
+        if len(w) != length:
+            raise SignalError("all waveforms must have equal length")
+    if gains is None:
+        gains = [1.0] * len(waveforms)
+    if len(gains) != len(waveforms):
+        raise SignalError("gains must match waveforms in length")
+    out = np.zeros(length, dtype=np.float64)
+    for g, w in zip(gains, waveforms):
+        out += g * np.asarray(w, dtype=np.float64)
+    return out
+
+
+def segments_from_mask(mask):
+    """Decompose a boolean mask into ``(start, end, active)`` runs.
+
+    ``end`` is exclusive.  Useful for reporting profile-transition
+    timelines in the Figure 17 experiment.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0:
+        return []
+    change = np.flatnonzero(np.diff(mask)) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [mask.size]])
+    return [(int(s), int(e), bool(mask[s])) for s, e in zip(starts, ends)]

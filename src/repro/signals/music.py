@@ -1,0 +1,84 @@
+"""Synthetic music source.
+
+A note-based generator: a seeded random walk over a pentatonic scale,
+each note a harmonic tone with an ADSR-ish envelope, plus an occasional
+sustained chord — enough melodic/harmonic structure to exercise the
+"music" workload of Figures 14 and 15 without shipping audio files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import SignalSource
+
+__all__ = ["SyntheticMusic", "PENTATONIC_A_MINOR"]
+
+#: A-minor pentatonic scale frequencies across two octaves (Hz).
+PENTATONIC_A_MINOR = [
+    220.0, 261.63, 293.66, 329.63, 392.0,
+    440.0, 523.25, 587.33, 659.25, 784.0,
+]
+
+
+class SyntheticMusic(SignalSource):
+    """Melody-plus-chords generator.
+
+    Parameters
+    ----------
+    tempo_bpm:
+        Beats per minute; one melody note per beat.
+    scale:
+        Note frequencies available to the melody random walk.
+    chord_probability:
+        Chance per beat of adding a sustained triad under the melody.
+    """
+
+    name = "music"
+
+    def __init__(self, tempo_bpm=100.0, scale=None, chord_probability=0.3,
+                 sample_rate=8000.0, level_rms=1.0, seed=0):
+        super().__init__(sample_rate=sample_rate, level_rms=level_rms, seed=seed)
+        if tempo_bpm <= 0:
+            raise ConfigurationError("tempo_bpm must be > 0")
+        self.tempo_bpm = float(tempo_bpm)
+        self.scale = list(scale) if scale is not None else list(PENTATONIC_A_MINOR)
+        if not self.scale:
+            raise ConfigurationError("scale must be non-empty")
+        if not 0.0 <= chord_probability <= 1.0:
+            raise ConfigurationError("chord_probability must be in [0, 1]")
+        self.chord_probability = float(chord_probability)
+
+    def _note(self, freq, n, rng):
+        """One note: 3 decaying harmonics under an attack/decay envelope."""
+        t = np.arange(n) / self.sample_rate
+        nyquist = self.sample_rate / 2.0
+        tone = np.zeros(n)
+        for k, gain in ((1, 1.0), (2, 0.4), (3, 0.2)):
+            if freq * k < nyquist:
+                tone += gain * np.sin(2.0 * np.pi * freq * k * t
+                                      + rng.uniform(0, 2 * np.pi))
+        attack = min(int(0.01 * self.sample_rate), max(n // 8, 1))
+        env = np.ones(n)
+        env[:attack] = np.linspace(0.0, 1.0, attack)
+        env *= np.exp(-t * 3.0)
+        return tone * env
+
+    def _raw(self, n_samples, rng):
+        beat_len = max(int(self.sample_rate * 60.0 / self.tempo_bpm), 32)
+        out = np.zeros(n_samples)
+        idx = rng.integers(0, len(self.scale))
+        pos = 0
+        while pos < n_samples:
+            n = min(beat_len, n_samples - pos)
+            # Melody: random walk constrained to the scale.
+            step = int(rng.integers(-2, 3))
+            idx = int(np.clip(idx + step, 0, len(self.scale) - 1))
+            out[pos:pos + n] += self._note(self.scale[idx], n, rng)
+            if rng.uniform() < self.chord_probability:
+                root = self.scale[int(rng.integers(0, len(self.scale)))]
+                for ratio in (1.0, 1.25, 1.5):  # major triad ratios
+                    out[pos:pos + n] += 0.3 * self._note(root * ratio, n, rng)
+            pos += n
+        return out

@@ -1,0 +1,160 @@
+"""Deterministic tonal sources: pure tones, harmonic stacks, sweeps.
+
+Machine hum — the periodic, predictable noise that conventional ANC
+handles well — is modeled as a harmonic stack with slight amplitude
+wobble.  Tone sweeps probe frequency responses (Figure 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import SignalSource
+
+__all__ = ["Tone", "HarmonicStack", "MachineHum", "ToneSweep", "MultiTone"]
+
+
+class Tone(SignalSource):
+    """A single sinusoid at ``frequency`` Hz with optional phase."""
+
+    name = "tone"
+
+    def __init__(self, frequency, sample_rate=8000.0, level_rms=1.0, seed=0,
+                 phase=0.0):
+        super().__init__(sample_rate=sample_rate, level_rms=level_rms, seed=seed)
+        if not 0.0 < frequency < self.sample_rate / 2.0:
+            raise ConfigurationError(
+                f"frequency must be in (0, Nyquist), got {frequency}"
+            )
+        self.frequency = float(frequency)
+        self.phase = float(phase)
+
+    def _raw(self, n_samples, rng):
+        t = np.arange(n_samples) / self.sample_rate
+        return np.sin(2.0 * np.pi * self.frequency * t + self.phase)
+
+
+class MultiTone(SignalSource):
+    """Sum of sinusoids with given frequencies and relative amplitudes."""
+
+    name = "multitone"
+
+    def __init__(self, frequencies, amplitudes=None, sample_rate=8000.0,
+                 level_rms=1.0, seed=0):
+        super().__init__(sample_rate=sample_rate, level_rms=level_rms, seed=seed)
+        self.frequencies = [float(f) for f in frequencies]
+        if not self.frequencies:
+            raise ConfigurationError("frequencies must be non-empty")
+        nyquist = self.sample_rate / 2.0
+        for f in self.frequencies:
+            if not 0.0 < f < nyquist:
+                raise ConfigurationError(
+                    f"frequency {f} Hz outside (0, {nyquist}) Hz"
+                )
+        if amplitudes is None:
+            amplitudes = [1.0] * len(self.frequencies)
+        self.amplitudes = [float(a) for a in amplitudes]
+        if len(self.amplitudes) != len(self.frequencies):
+            raise ConfigurationError(
+                "amplitudes must match frequencies in length"
+            )
+
+    def _raw(self, n_samples, rng):
+        t = np.arange(n_samples) / self.sample_rate
+        out = np.zeros(n_samples)
+        # Random (but seeded) phases avoid a synthetic-looking pulse at t=0.
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=len(self.frequencies))
+        for f, a, p in zip(self.frequencies, self.amplitudes, phases):
+            out += a * np.sin(2.0 * np.pi * f * t + p)
+        return out
+
+
+class HarmonicStack(SignalSource):
+    """Fundamental plus decaying harmonics — the skeleton of machine hum."""
+
+    name = "harmonic stack"
+
+    def __init__(self, fundamental, n_harmonics=6, decay=0.6,
+                 sample_rate=8000.0, level_rms=1.0, seed=0):
+        super().__init__(sample_rate=sample_rate, level_rms=level_rms, seed=seed)
+        if fundamental <= 0:
+            raise ConfigurationError("fundamental must be > 0")
+        self.fundamental = float(fundamental)
+        if n_harmonics < 1:
+            raise ConfigurationError("n_harmonics must be >= 1")
+        self.n_harmonics = int(n_harmonics)
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError("decay must be in (0, 1]")
+        self.decay = float(decay)
+
+    def _raw(self, n_samples, rng):
+        t = np.arange(n_samples) / self.sample_rate
+        nyquist = self.sample_rate / 2.0
+        out = np.zeros(n_samples)
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=self.n_harmonics)
+        for k in range(1, self.n_harmonics + 1):
+            f = self.fundamental * k
+            if f >= nyquist:
+                break
+            out += (self.decay ** (k - 1)) * np.sin(
+                2.0 * np.pi * f * t + phases[k - 1]
+            )
+        return out
+
+
+class MachineHum(HarmonicStack):
+    """AC-machinery hum: harmonic stack with slow amplitude wobble.
+
+    Defaults model a 120 Hz fan/compressor hum — the "persistent noise"
+    of the paper's Figure 8(a) that a converged filter cancels smoothly.
+    """
+
+    name = "machine hum"
+
+    def __init__(self, fundamental=120.0, n_harmonics=8, decay=0.7,
+                 wobble_rate=0.7, wobble_depth=0.1,
+                 sample_rate=8000.0, level_rms=1.0, seed=0):
+        super().__init__(fundamental=fundamental, n_harmonics=n_harmonics,
+                         decay=decay, sample_rate=sample_rate,
+                         level_rms=level_rms, seed=seed)
+        if not 0.0 <= wobble_depth < 1.0:
+            raise ConfigurationError("wobble_depth must be in [0, 1)")
+        self.wobble_rate = float(wobble_rate)
+        self.wobble_depth = float(wobble_depth)
+
+    def _raw(self, n_samples, rng):
+        base = super()._raw(n_samples, rng)
+        t = np.arange(n_samples) / self.sample_rate
+        wobble = 1.0 + self.wobble_depth * np.sin(
+            2.0 * np.pi * self.wobble_rate * t
+        )
+        return base * wobble
+
+
+class ToneSweep(SignalSource):
+    """Linear chirp from ``f_start`` to ``f_end`` Hz over the duration.
+
+    Used to probe transducer frequency response (the Figure 13
+    measurement).
+    """
+
+    name = "tone sweep"
+
+    def __init__(self, f_start=50.0, f_end=3900.0, sample_rate=8000.0,
+                 level_rms=1.0, seed=0):
+        super().__init__(sample_rate=sample_rate, level_rms=level_rms, seed=seed)
+        nyquist = self.sample_rate / 2.0
+        if not 0.0 < f_start < nyquist or not 0.0 < f_end < nyquist:
+            raise ConfigurationError(
+                f"sweep endpoints must lie in (0, {nyquist}) Hz"
+            )
+        self.f_start = float(f_start)
+        self.f_end = float(f_end)
+
+    def _raw(self, n_samples, rng):
+        t = np.arange(n_samples) / self.sample_rate
+        duration = n_samples / self.sample_rate
+        rate = (self.f_end - self.f_start) / duration
+        phase = 2.0 * np.pi * (self.f_start * t + 0.5 * rate * t ** 2)
+        return np.sin(phase)

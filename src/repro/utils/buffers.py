@@ -1,0 +1,286 @@
+"""Sample buffers used by the streaming DSP components.
+
+Three buffer types cover every streaming need in the library:
+
+* :class:`RingBuffer` — fixed-capacity FIFO of recent samples with O(1)
+  push and O(n) snapshot; the workhorse behind tapped delay lines.
+* :class:`DelayLine` — integer-sample delay (``y[t] = x[t - D]``), used to
+  model wire/converter latency and the paper's "delayed line buffer" that
+  artificially shrinks lookahead in the Figure 16 experiment.
+* :class:`LookaheadBuffer` — the MUTE-specific structure: the wireless
+  relay delivers reference samples *ahead* of the acoustic wavefront, so
+  at acoustic time ``t`` the DSP can read reference samples up to
+  ``t + lookahead``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LookaheadError
+from .validation import check_non_negative_int, check_positive_int
+
+__all__ = ["RingBuffer", "DelayLine", "LookaheadBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity buffer holding the most recent ``capacity`` samples.
+
+    New samples are pushed one at a time; ``recent(k)`` returns the last
+    ``k`` samples in chronological order.  Samples older than the capacity
+    are discarded.  The buffer starts zero-filled, which matches how DSP
+    delay lines power up.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = check_positive_int("capacity", capacity)
+        self._data = np.zeros(self.capacity, dtype=np.float64)
+        self._next = 0          # index where the next sample is written
+        self._count = 0         # total samples ever pushed (saturates display only)
+
+    def __len__(self):
+        """Number of valid (pushed) samples currently held, capped at capacity."""
+        return min(self._count, self.capacity)
+
+    def push(self, sample):
+        """Append one sample, evicting the oldest if full."""
+        self._data[self._next] = sample
+        self._next = (self._next + 1) % self.capacity
+        self._count += 1
+
+    def extend(self, samples):
+        """Append many samples efficiently."""
+        samples = np.asarray(samples, dtype=np.float64)
+        n = samples.size
+        if n == 0:
+            return
+        if n >= self.capacity:
+            # Only the trailing `capacity` samples survive.
+            self._data[:] = samples[-self.capacity:]
+            self._next = 0
+            self._count += n
+            return
+        first = min(n, self.capacity - self._next)
+        self._data[self._next:self._next + first] = samples[:first]
+        if first < n:
+            self._data[:n - first] = samples[first:]
+        self._next = (self._next + n) % self.capacity
+        self._count += n
+
+    def recent(self, k):
+        """Return the latest ``k`` samples, oldest first.
+
+        Positions never written return 0.0 (cold-start convention).
+        """
+        k = check_positive_int("k", k)
+        if k > self.capacity:
+            raise LookaheadError(
+                f"requested {k} samples from a buffer of capacity {self.capacity}"
+            )
+        idx = (self._next - k) % self.capacity
+        if idx + k <= self.capacity:
+            return self._data[idx:idx + k].copy()
+        head = self._data[idx:]
+        tail = self._data[:k - (self.capacity - idx)]
+        return np.concatenate([head, tail])
+
+    def newest(self):
+        """Return the most recently pushed sample (0.0 if never pushed)."""
+        return float(self._data[(self._next - 1) % self.capacity])
+
+
+class DelayLine:
+    """Pure integer-sample delay: ``y[t] = x[t - delay]``.
+
+    A zero delay passes samples through unchanged.  The line starts
+    zero-filled, so the first ``delay`` outputs are 0.0.
+    """
+
+    def __init__(self, delay):
+        self.delay = check_non_negative_int("delay", delay)
+        self._buffer = np.zeros(max(self.delay, 1), dtype=np.float64)
+        self._pos = 0
+
+    def push(self, sample):
+        """Push one input sample and return the delayed output sample."""
+        if self.delay == 0:
+            return float(sample)
+        out = self._buffer[self._pos]
+        self._buffer[self._pos] = sample
+        self._pos = (self._pos + 1) % self.delay
+        return float(out)
+
+    def process(self, signal):
+        """Delay a whole block, preserving state across calls."""
+        signal = np.asarray(signal, dtype=np.float64)
+        if self.delay == 0:
+            return signal.copy()
+        out = np.empty_like(signal)
+        for i, sample in enumerate(signal):
+            out[i] = self.push(sample)
+        return out
+
+    def reset(self):
+        """Clear internal state back to the zero-filled power-up condition."""
+        self._buffer[:] = 0.0
+        self._pos = 0
+
+
+class LookaheadBuffer:
+    """Reference-signal buffer with future access.
+
+    The buffer is fed from the wireless relay, whose samples arrive
+    ``lookahead`` samples before the corresponding acoustic wavefront
+    reaches the ear.  Indexing is expressed in *acoustic time*: after
+    ``advance()`` has been called ``t+1`` times, ``read(k)`` returns the
+    reference sample at acoustic time ``t - k``, where ``k`` may be as
+    negative as ``-lookahead`` (future) and as positive as
+    ``history - 1`` (past).
+
+    Storage grows with the fed signal (float64, so minutes of 8 kHz audio
+    cost a few MB); ``compact()`` drops samples older than the history
+    window when long-running streams need bounded memory.
+
+    Parameters
+    ----------
+    lookahead:
+        How many future samples are accessible (``N`` in the paper's
+        Algorithm 1).
+    history:
+        How many past samples (including the current one) are accessible
+        (``L + 1`` for the causal taps).
+    """
+
+    def __init__(self, lookahead, history):
+        self.lookahead = check_non_negative_int("lookahead", lookahead)
+        self.history = check_positive_int("history", history)
+        self._data = np.zeros(1024, dtype=np.float64)
+        self._fed = 0        # number of samples delivered
+        self._base = 0       # absolute time of _data[0]
+        self._time = -1      # current acoustic time
+
+    @property
+    def time(self):
+        """Current acoustic time index (−1 before the first advance)."""
+        return self._time
+
+    @property
+    def available_future(self):
+        """How many future samples are currently in hand."""
+        return self._fed - 1 - self._time
+
+    def _grow_to(self, n_local):
+        if n_local <= self._data.size:
+            return
+        new_size = max(self._data.size * 2, n_local)
+        grown = np.zeros(new_size, dtype=np.float64)
+        grown[: self._data.size] = self._data
+        self._data = grown
+
+    def feed(self, sample):
+        """Deliver one relay sample.
+
+        The i-th sample ever fed corresponds to acoustic time ``i`` — the
+        moment its wavefront reaches the error microphone; the radio link
+        makes it *available* ``lookahead`` samples earlier.
+        """
+        local = self._fed - self._base
+        self._grow_to(local + 1)
+        self._data[local] = sample
+        self._fed += 1
+
+    def feed_block(self, samples):
+        """Deliver a block of relay samples."""
+        samples = np.asarray(samples, dtype=np.float64)
+        local = self._fed - self._base
+        self._grow_to(local + samples.size)
+        self._data[local: local + samples.size] = samples
+        self._fed += samples.size
+
+    def advance(self):
+        """Advance acoustic time by one sample.
+
+        Raises
+        ------
+        LookaheadError
+            If the relay has not yet delivered the sample that should now
+            be ``lookahead`` samples in the future — i.e. the radio link
+            stalled and the promised lookahead is unavailable.
+        """
+        if self._fed < (self._time + 1) + self.lookahead + 1:
+            raise LookaheadError(
+                "lookahead buffer underrun: relay has delivered "
+                f"{self._fed} samples but acoustic time {self._time + 1} "
+                f"requires {self._time + 2 + self.lookahead}"
+            )
+        self._time += 1
+
+    def read(self, k):
+        """Read the reference sample at acoustic time ``time - k``.
+
+        ``k < 0`` reads the future (up to ``-lookahead``); ``k >= 0``
+        reads the past (up to ``history - 1``).  Times before 0
+        (pre power-up) read as 0.0.
+        """
+        if k < -self.lookahead or k >= self.history:
+            raise LookaheadError(
+                f"tap index {k} outside [-{self.lookahead}, {self.history - 1}]"
+            )
+        target = self._time - k
+        if target < 0:
+            return 0.0
+        if target >= self._fed:
+            raise LookaheadError(
+                f"acoustic time {target} not yet delivered "
+                f"(newest is {self._fed - 1})"
+            )
+        local = target - self._base
+        if local < 0:
+            raise LookaheadError(
+                f"acoustic time {target} was compacted away"
+            )
+        return float(self._data[local])
+
+    def window(self, n_future, n_past):
+        """Tap-input vector for acoustic times ``[time-n_past+1, time+n_future]``.
+
+        Returned oldest-first as a length ``n_past + n_future`` array —
+        exactly the input vector for a filter with ``n_future`` non-causal
+        and ``n_past`` causal taps.  Pre-power-up times read as 0.0.
+        """
+        if n_future > self.lookahead:
+            raise LookaheadError(
+                f"requested {n_future} future samples but lookahead is "
+                f"{self.lookahead}"
+            )
+        if n_past > self.history:
+            raise LookaheadError(
+                f"requested {n_past} past samples but history is {self.history}"
+            )
+        newest_wanted = self._time + n_future
+        if newest_wanted >= self._fed:
+            raise LookaheadError(
+                f"acoustic time {newest_wanted} not yet delivered "
+                f"(newest is {self._fed - 1})"
+            )
+        oldest_wanted = self._time - n_past + 1
+        total = n_past + n_future
+        out = np.zeros(total, dtype=np.float64)
+        start = max(oldest_wanted, 0)
+        lo_local = start - self._base
+        if lo_local < 0:
+            raise LookaheadError("window extends into compacted region")
+        hi_local = newest_wanted - self._base + 1
+        out[total - (newest_wanted - start + 1):] = \
+            self._data[lo_local:hi_local]
+        return out
+
+    def compact(self):
+        """Drop samples older than the history window to bound memory."""
+        keep_from = max(self._time - self.history + 1, 0)
+        if keep_from <= self._base:
+            return
+        shift = keep_from - self._base
+        kept = self._fed - keep_from
+        self._data[:kept] = self._data[shift: shift + kept]
+        self._base = keep_from

@@ -1,0 +1,125 @@
+"""Unit conversions used throughout the library.
+
+Acoustics and RF both measure power ratios in decibels but with different
+reference points; this module keeps every conversion in one place so the
+rest of the code never hand-rolls ``10 * log10`` expressions.
+
+Conventions
+-----------
+* *Power* quantities (mean-square signal values) convert with ``10 log10``.
+* *Amplitude* quantities (RMS values, filter magnitudes) convert with
+  ``20 log10``.
+* Sound pressure level (SPL) is referenced to 20 µPa; in this simulation a
+  digital signal with RMS 1.0 is calibrated to :data:`FULL_SCALE_SPL_DB`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignalError
+
+__all__ = [
+    "REFERENCE_PRESSURE_PA",
+    "FULL_SCALE_SPL_DB",
+    "EPSILON_POWER",
+    "db_to_power",
+    "power_to_db",
+    "db_to_amplitude",
+    "amplitude_to_db",
+    "rms",
+    "signal_power",
+    "signal_power_db",
+    "spl_db",
+    "amplitude_for_spl",
+    "snr_db",
+    "cancellation_db",
+]
+
+#: Standard acoustic reference pressure (20 micro-pascal), in pascal.
+REFERENCE_PRESSURE_PA = 20e-6
+
+#: SPL, in dB, assigned to a digital signal of RMS 1.0.  The paper runs its
+#: measurement microphone at 67 dB SPL ambient noise; this calibration
+#: constant lets tests express levels in the same physical units.
+FULL_SCALE_SPL_DB = 94.0
+
+#: Floor used to avoid log-of-zero when converting powers to dB.
+EPSILON_POWER = 1e-20
+
+
+def db_to_power(db):
+    """Convert a power ratio in dB to a linear power ratio."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def power_to_db(power):
+    """Convert a linear power ratio to dB, flooring at ``EPSILON_POWER``."""
+    power = np.maximum(np.asarray(power, dtype=float), EPSILON_POWER)
+    return 10.0 * np.log10(power)
+
+
+def db_to_amplitude(db):
+    """Convert an amplitude ratio in dB to a linear amplitude ratio."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 20.0)
+
+
+def amplitude_to_db(amplitude):
+    """Convert a linear amplitude ratio to dB."""
+    amplitude = np.maximum(np.abs(np.asarray(amplitude, dtype=float)),
+                           np.sqrt(EPSILON_POWER))
+    return 20.0 * np.log10(amplitude)
+
+
+def rms(signal):
+    """Root-mean-square value of a signal.
+
+    Raises
+    ------
+    SignalError
+        If the signal is empty.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise SignalError("cannot compute RMS of an empty signal")
+    return float(np.sqrt(np.mean(np.square(signal))))
+
+
+def signal_power(signal):
+    """Mean-square power of a signal."""
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise SignalError("cannot compute power of an empty signal")
+    return float(np.mean(np.square(signal)))
+
+
+def signal_power_db(signal):
+    """Mean-square power of a signal in dB (relative to unit power)."""
+    return float(power_to_db(signal_power(signal)))
+
+
+def spl_db(signal, full_scale_spl_db=FULL_SCALE_SPL_DB):
+    """Sound pressure level of a digital signal under the library calibration.
+
+    A signal with RMS 1.0 maps to ``full_scale_spl_db`` dB SPL.
+    """
+    return float(amplitude_to_db(rms(signal))) + full_scale_spl_db
+
+
+def amplitude_for_spl(target_spl_db, full_scale_spl_db=FULL_SCALE_SPL_DB):
+    """RMS amplitude a signal must have to present ``target_spl_db`` dB SPL."""
+    return float(db_to_amplitude(target_spl_db - full_scale_spl_db))
+
+
+def snr_db(signal, noise):
+    """Signal-to-noise ratio between two arrays, in dB."""
+    return signal_power_db(signal) - signal_power_db(noise)
+
+
+def cancellation_db(before, after):
+    """Cancellation achieved between two residual recordings, in dB.
+
+    Negative values mean the ``after`` signal is quieter — matching the
+    paper's plots where "more cancellation" is more negative (e.g. −15 dB).
+    """
+    return signal_power_db(after) - signal_power_db(before)

@@ -1,0 +1,119 @@
+"""Privacy controls for the forwarded sound (paper §4.4).
+
+The paper's second privacy question: "Will the wirelessly-forwarded
+sound reach certain areas where it wouldn't have been audible
+otherwise? ... with power control, beamforming, and sound scrambling,
+the problem can be alleviated."
+
+Two of those mitigations are implementable with this library's physics:
+
+* **Power control** — transmit only as hot as the intended client
+  needs; :func:`minimum_tx_power_dbm` computes that power and
+  :func:`leakage_radius_m` the distance at which an eavesdropper's
+  receiver falls below a usable SNR.
+* **Sound scrambling** — add a pseudo-random masking signal to the audio
+  before modulation; the intended receiver knows the seed and subtracts
+  it, an eavesdropper demodulates audio buried under the mask.
+  :class:`ScramblingCodec` implements the seeded mask.
+
+(The tabletop variant's observation — a short-range link leaks almost
+nothing — falls out of the same arithmetic.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.units import rms as _rms
+from ..utils.validation import check_positive, check_waveform
+from .link_budget import free_space_path_loss_db, thermal_noise_dbm
+
+__all__ = [
+    "minimum_tx_power_dbm",
+    "received_audio_snr_db",
+    "leakage_radius_m",
+    "ScramblingCodec",
+]
+
+
+def minimum_tx_power_dbm(client_distance_m, required_snr_db=30.0,
+                         bandwidth_hz=32000.0, frequency_hz=915e6,
+                         noise_figure_db=6.0, margin_db=6.0):
+    """Smallest TX power that still serves the intended client.
+
+    ``margin_db`` covers fading/body blocking; everything else is the
+    Friis/thermal arithmetic of :mod:`repro.wireless.link_budget`.
+    """
+    client_distance_m = check_positive("client_distance_m",
+                                       client_distance_m)
+    noise_floor = thermal_noise_dbm(bandwidth_hz,
+                                    noise_figure_db=noise_figure_db)
+    path_loss = free_space_path_loss_db(client_distance_m, frequency_hz)
+    return noise_floor + required_snr_db + margin_db + path_loss
+
+
+def received_audio_snr_db(tx_power_dbm, distance_m, bandwidth_hz=32000.0,
+                          frequency_hz=915e6, noise_figure_db=6.0):
+    """RF SNR at an arbitrary receiver distance (client or eavesdropper)."""
+    distance_m = check_positive("distance_m", distance_m)
+    noise_floor = thermal_noise_dbm(bandwidth_hz,
+                                    noise_figure_db=noise_figure_db)
+    return (tx_power_dbm
+            - free_space_path_loss_db(distance_m, frequency_hz)
+            - noise_floor)
+
+
+def leakage_radius_m(tx_power_dbm, usable_snr_db=10.0,
+                     bandwidth_hz=32000.0, frequency_hz=915e6,
+                     noise_figure_db=6.0):
+    """Distance beyond which an eavesdropper cannot recover the audio.
+
+    Solves the Friis equation for the range where the received SNR drops
+    to ``usable_snr_db`` (≈10 dB is marginal FM audio).
+    """
+    noise_floor = thermal_noise_dbm(bandwidth_hz,
+                                    noise_figure_db=noise_figure_db)
+    allowed_path_loss = tx_power_dbm - noise_floor - usable_snr_db
+    wavelength = 299_792_458.0 / frequency_hz
+    # FSPL(d) = 20 log10(4 pi d / lambda)  =>  d = lambda/(4 pi) 10^(L/20)
+    return wavelength / (4.0 * math.pi) * 10.0 ** (allowed_path_loss / 20.0)
+
+
+class ScramblingCodec:
+    """Seeded additive audio mask shared by relay and client.
+
+    The mask is wide-band noise at ``mask_to_signal`` times the audio
+    RMS.  ``scramble`` adds it (at the relay, before FM);
+    ``descramble`` subtracts it (at the client).  An eavesdropper who
+    demodulates without the seed hears audio at ≈
+    ``−20·log10(mask_to_signal)`` dB SNR.
+    """
+
+    def __init__(self, seed, mask_to_signal=10.0):
+        self.seed = int(seed)
+        self.mask_to_signal = check_positive("mask_to_signal",
+                                             mask_to_signal)
+
+    def _mask(self, n_samples, level):
+        rng = np.random.default_rng(self.seed)
+        return level * rng.standard_normal(n_samples)
+
+    def scramble(self, audio):
+        """Relay side: bury the audio under the shared mask."""
+        audio = check_waveform("audio", audio, min_length=1)
+        level = self.mask_to_signal * max(_rms(audio), 1e-12)
+        return audio + self._mask(audio.size, level), level
+
+    def descramble(self, scrambled, mask_level):
+        """Client side: remove the mask (requires the seed and level)."""
+        scrambled = check_waveform("scrambled", scrambled, min_length=1)
+        if mask_level < 0:
+            raise ConfigurationError("mask_level must be >= 0")
+        return scrambled - self._mask(scrambled.size, mask_level)
+
+    def eavesdropper_snr_db(self):
+        """Audio SNR of a receiver without the seed (mask = noise)."""
+        return -20.0 * math.log10(self.mask_to_signal)

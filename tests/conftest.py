@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (room channels, MuteSystem instances) are session-scoped:
+they are deterministic, and rebuilding image-source models per test
+would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Point, Room
+from repro.acoustics.rir import RirSettings
+from repro.core import MuteConfig, MuteSystem, Scenario
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def fast_scenario():
+    """A small scene with first-order reflections only — fast RIRs."""
+    room = Room(5.0, 4.0, 3.0, absorption=0.4)
+    return Scenario(
+        room=room,
+        source=Point(0.8, 0.8, 1.2),
+        client=Point(4.0, 3.0, 1.2),
+        relays=(Point(1.2, 0.5, 1.2),),
+        sample_rate=8000.0,
+        rir_settings=RirSettings(max_order=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_channels(fast_scenario):
+    return fast_scenario.build_channels()
+
+
+@pytest.fixture(scope="session")
+def fast_system(fast_scenario):
+    """A MuteSystem with cheap settings (exact secondary path, few taps)."""
+    config = MuteConfig(
+        n_future=32,
+        n_past=192,
+        mu=0.2,
+        probe_secondary=False,
+    )
+    return MuteSystem(fast_scenario, config)
+
+
+@pytest.fixture(scope="session")
+def two_relay_scenario(fast_scenario):
+    """The fast scene plus a second relay beyond the client."""
+    far = Point(4.6, 3.4, 1.2)
+    return dataclasses.replace(fast_scenario,
+                               relays=fast_scenario.relays + (far,))

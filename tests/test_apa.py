@@ -1,0 +1,74 @@
+"""Affine projection adaptation."""
+
+import numpy as np
+import pytest
+from scipy import signal as sps
+
+from repro.core import ApaFilter, LmsFilter
+from repro.errors import ConfigurationError
+
+
+def _colored_scene(seed=0, T=5000, pole=0.95):
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal(16) * 0.3
+    white = rng.standard_normal(T)
+    x = sps.lfilter([1.0], [1.0, -pole], white)
+    d = np.convolve(x, h)[:T]
+    return x, d, h
+
+
+def _settle_index(errors, threshold):
+    above = np.flatnonzero(np.abs(errors) >= threshold)
+    return above[-1] + 1 if above.size else 0
+
+
+class TestApaFilter:
+    def test_identifies_system(self):
+        x, d, h = _colored_scene()
+        apa = ApaFilter(n_taps=20, order=4, mu=0.5)
+        result = apa.run(x, d)
+        np.testing.assert_allclose(result.taps[:16], h, atol=5e-3)
+
+    def test_converges_much_faster_than_nlms_on_colored_input(self):
+        x, d, __ = _colored_scene()
+        threshold = 0.05 * np.sqrt(np.mean(d ** 2))
+        nlms = LmsFilter(n_taps=20, mu=0.5).run(x, d)
+        apa = ApaFilter(n_taps=20, order=4, mu=0.5).run(x, d)
+        assert (_settle_index(apa.error, threshold)
+                < 0.3 * _settle_index(nlms.error, threshold))
+
+    def test_order_one_behaves_like_nlms(self):
+        x, d, __ = _colored_scene(T=2500)
+        apa = ApaFilter(n_taps=20, order=1, mu=0.5, epsilon=1e-8).run(x, d)
+        nlms = LmsFilter(n_taps=20, mu=0.5).run(x, d)
+        # Same family: convergence within a similar envelope.
+        assert np.mean(apa.error[-500:] ** 2) == pytest.approx(
+            np.mean(nlms.error[-500:] ** 2), rel=1.0, abs=1e-6)
+
+    def test_higher_order_not_slower(self):
+        x, d, __ = _colored_scene()
+        threshold = 0.05 * np.sqrt(np.mean(d ** 2))
+        p2 = ApaFilter(n_taps=20, order=2, mu=0.5).run(x, d)
+        p8 = ApaFilter(n_taps=20, order=8, mu=0.5).run(x, d)
+        assert (_settle_index(p8.error, threshold)
+                <= _settle_index(p2.error, threshold) * 1.2)
+
+    def test_reset(self):
+        x, d, __ = _colored_scene(T=500)
+        apa = ApaFilter(n_taps=8, order=2)
+        apa.run(x, d)
+        apa.reset()
+        np.testing.assert_array_equal(apa.taps, 0.0)
+
+    def test_rejects_order_above_taps(self):
+        with pytest.raises(ConfigurationError):
+            ApaFilter(n_taps=4, order=8)
+
+    def test_tracks_time_varying_system(self):
+        rng = np.random.default_rng(5)
+        x = sps.lfilter([1.0], [1.0, -0.9], rng.standard_normal(4000))
+        d = np.concatenate([0.8 * x[:2000], -0.8 * x[2000:]])
+        apa = ApaFilter(n_taps=2, order=2, mu=0.8)
+        result = apa.run(x, d)
+        assert result.taps[0] == pytest.approx(-0.8, abs=0.05)
+        assert result.taps[1] == pytest.approx(0.0, abs=0.05)

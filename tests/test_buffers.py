@@ -1,0 +1,166 @@
+"""RingBuffer, DelayLine, LookaheadBuffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LookaheadError
+from repro.utils.buffers import DelayLine, LookaheadBuffer, RingBuffer
+
+
+class TestRingBuffer:
+    def test_starts_zero_filled(self):
+        rb = RingBuffer(4)
+        np.testing.assert_array_equal(rb.recent(4), np.zeros(4))
+
+    def test_push_and_recent_order(self):
+        rb = RingBuffer(4)
+        for x in (1.0, 2.0, 3.0):
+            rb.push(x)
+        np.testing.assert_array_equal(rb.recent(3), [1.0, 2.0, 3.0])
+
+    def test_eviction(self):
+        rb = RingBuffer(3)
+        for x in range(6):
+            rb.push(float(x))
+        np.testing.assert_array_equal(rb.recent(3), [3.0, 4.0, 5.0])
+
+    def test_extend_matches_pushes(self):
+        a, b = RingBuffer(5), RingBuffer(5)
+        data = np.arange(13, dtype=float)
+        for x in data:
+            a.push(x)
+        b.extend(data)
+        np.testing.assert_array_equal(a.recent(5), b.recent(5))
+
+    def test_extend_longer_than_capacity(self):
+        rb = RingBuffer(3)
+        rb.extend(np.arange(10, dtype=float))
+        np.testing.assert_array_equal(rb.recent(3), [7.0, 8.0, 9.0])
+
+    def test_recent_too_many_raises(self):
+        rb = RingBuffer(2)
+        with pytest.raises(LookaheadError):
+            rb.recent(3)
+
+    def test_newest(self):
+        rb = RingBuffer(3)
+        rb.push(7.5)
+        assert rb.newest() == 7.5
+
+    def test_len_caps_at_capacity(self):
+        rb = RingBuffer(2)
+        rb.extend([1.0, 2.0, 3.0])
+        assert len(rb) == 2
+
+
+class TestDelayLine:
+    def test_zero_delay_passthrough(self):
+        dl = DelayLine(0)
+        assert dl.push(3.0) == 3.0
+
+    def test_integer_delay(self):
+        dl = DelayLine(3)
+        out = [dl.push(float(x)) for x in range(6)]
+        assert out == [0.0, 0.0, 0.0, 0.0, 1.0, 2.0]
+
+    def test_process_block_equals_pushes(self):
+        a, b = DelayLine(5), DelayLine(5)
+        data = np.arange(20, dtype=float)
+        pushed = np.array([a.push(x) for x in data])
+        block = b.process(data)
+        np.testing.assert_array_equal(pushed, block)
+
+    def test_state_persists_across_blocks(self):
+        dl = DelayLine(2)
+        first = dl.process(np.array([1.0, 2.0]))
+        second = dl.process(np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(first, [0.0, 0.0])
+        np.testing.assert_array_equal(second, [1.0, 2.0])
+
+    def test_reset(self):
+        dl = DelayLine(2)
+        dl.process(np.array([5.0, 6.0]))
+        dl.reset()
+        np.testing.assert_array_equal(dl.process(np.array([0.0, 0.0])),
+                                      [0.0, 0.0])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(Exception):
+            DelayLine(-1)
+
+
+class TestLookaheadBuffer:
+    def _primed(self, lookahead=4, history=8, n=20):
+        lb = LookaheadBuffer(lookahead=lookahead, history=history)
+        lb.feed_block(np.arange(n, dtype=float))
+        return lb
+
+    def test_advance_requires_lookahead_margin(self):
+        lb = LookaheadBuffer(lookahead=4, history=4)
+        lb.feed_block(np.arange(4, dtype=float))
+        with pytest.raises(LookaheadError):
+            lb.advance()   # needs sample index 4 (time 0 + lookahead 4)
+
+    def test_read_present_past_future(self):
+        lb = self._primed()
+        for __ in range(10):
+            lb.advance()
+        assert lb.time == 9
+        assert lb.read(0) == 9.0          # now
+        assert lb.read(3) == 6.0          # past
+        assert lb.read(-4) == 13.0        # future
+        assert lb.read(-1) == 10.0
+
+    def test_read_before_time_zero_is_zero(self):
+        lb = self._primed()
+        lb.advance()
+        assert lb.read(5) == 0.0   # acoustic time -4: pre power-up
+
+    def test_read_out_of_tap_range(self):
+        lb = self._primed()
+        lb.advance()
+        with pytest.raises(LookaheadError):
+            lb.read(-5)
+        with pytest.raises(LookaheadError):
+            lb.read(8)
+
+    def test_window_content(self):
+        lb = self._primed()
+        for __ in range(10):
+            lb.advance()
+        window = lb.window(n_future=4, n_past=8)
+        np.testing.assert_array_equal(window, np.arange(2.0, 14.0))
+
+    def test_window_too_much_future(self):
+        lb = self._primed()
+        lb.advance()
+        with pytest.raises(LookaheadError):
+            lb.window(n_future=5, n_past=2)
+
+    def test_available_future(self):
+        lb = self._primed(n=20)
+        for __ in range(10):
+            lb.advance()
+        assert lb.available_future == 10
+
+    def test_compact_keeps_history(self):
+        lb = self._primed(n=20)
+        for __ in range(12):
+            lb.advance()
+        lb.compact()
+        assert lb.read(7) == 4.0   # oldest retained history sample
+
+    def test_feed_single_samples(self):
+        lb = LookaheadBuffer(lookahead=1, history=2)
+        for x in (1.0, 2.0, 3.0):
+            lb.feed(x)
+        lb.advance()
+        assert lb.read(0) == 1.0
+        assert lb.read(-1) == 2.0
+
+    def test_growth_beyond_initial_capacity(self):
+        lb = LookaheadBuffer(lookahead=2, history=4)
+        lb.feed_block(np.arange(5000, dtype=float))
+        for __ in range(4000):
+            lb.advance()
+        assert lb.read(0) == 3999.0

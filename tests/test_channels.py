@@ -1,0 +1,99 @@
+"""AcousticChannel application modes and composition."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import AcousticChannel, cascade, channel_delay_samples
+from repro.errors import ChannelError, SignalError
+
+
+@pytest.fixture()
+def random_channel(rng):
+    ir = np.zeros(32)
+    ir[4] = 1.0
+    ir[5:20] = 0.2 * rng.standard_normal(15)
+    return AcousticChannel(ir, name="test")
+
+
+class TestChannelDelay:
+    def test_delta(self):
+        assert channel_delay_samples(np.array([0.0, 0.0, 1.0])) == 2
+
+    def test_ignores_weak_precursor(self):
+        ir = np.array([0.05, 0.0, 1.0, 0.3])
+        assert channel_delay_samples(ir) == 2
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(SignalError):
+            channel_delay_samples(np.zeros(4))
+
+
+class TestApplication:
+    def test_apply_matches_convolution(self, random_channel, rng):
+        x = rng.standard_normal(200)
+        expected = np.convolve(x, random_channel.ir)[:200]
+        np.testing.assert_allclose(random_channel.apply(x), expected,
+                                   atol=1e-12)
+
+    def test_apply_full_length(self, random_channel, rng):
+        x = rng.standard_normal(50)
+        out = random_channel.apply_full(x)
+        assert out.size == 50 + len(random_channel) - 1
+
+    def test_step_matches_apply(self, random_channel, rng):
+        x = rng.standard_normal(64)
+        batch = random_channel.apply(x)
+        random_channel.reset()
+        stepped = np.array([random_channel.step(s) for s in x])
+        np.testing.assert_allclose(batch, stepped, atol=1e-12)
+
+    def test_blocks_match_apply(self, random_channel, rng):
+        x = rng.standard_normal(100)
+        batch = random_channel.apply(x)
+        random_channel.reset()
+        blocks = np.concatenate([
+            random_channel.process_block(x[:30]),
+            random_channel.process_block(x[30:80]),
+            random_channel.process_block(x[80:]),
+        ])
+        np.testing.assert_allclose(batch, blocks, atol=1e-12)
+
+    def test_reset_clears_state(self, random_channel):
+        random_channel.process_block(np.ones(10))
+        random_channel.reset()
+        out = random_channel.process_block(np.zeros(10))
+        np.testing.assert_array_equal(out, np.zeros(10))
+
+    def test_single_tap_channel(self):
+        ch = AcousticChannel(np.array([0.5]))
+        assert ch.step(2.0) == 1.0
+
+    def test_frequency_response_shape(self, random_channel):
+        freqs, h = random_channel.frequency_response(8000.0, n_points=128)
+        assert freqs.size == 128
+        assert np.iscomplexobj(h)
+
+
+class TestCascade:
+    def test_two_delays_compose(self):
+        a = AcousticChannel(np.array([0.0, 1.0]), name="d1")
+        b = AcousticChannel(np.array([0.0, 0.0, 1.0]), name="d2")
+        c = cascade(a, b)
+        assert channel_delay_samples(c.ir) == 3
+
+    def test_cascade_name(self):
+        a = AcousticChannel(np.array([1.0]), name="a")
+        b = AcousticChannel(np.array([1.0]), name="b")
+        assert cascade(a, b).name == "a*b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChannelError):
+            cascade()
+
+    def test_cascade_equals_sequential_apply(self, rng):
+        a = AcousticChannel(rng.standard_normal(8))
+        b = AcousticChannel(rng.standard_normal(8))
+        x = rng.standard_normal(100)
+        seq = b.apply(a.apply(x))
+        combined = cascade(a, b).apply(x)
+        np.testing.assert_allclose(seq, combined, atol=1e-10)

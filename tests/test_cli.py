@@ -1,0 +1,50 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig13", "--duration", "2.5", "--seed", "9"])
+        assert args.experiment == "fig13"
+        assert args.duration == 2.5
+        assert args.seed == 9
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self):
+        out = io.StringIO()
+        code = main(["list"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_run_fast_experiment(self):
+        out = io.StringIO()
+        code = main(["run", "timing"], out=out)
+        assert code == 0
+        assert "Eq. 4" in out.getvalue()
+
+    def test_run_fig13(self):
+        out = io.StringIO()
+        code = main(["run", "fig13"], out=out)
+        assert code == 0
+        assert "frequency response" in out.getvalue()

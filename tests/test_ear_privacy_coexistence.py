@@ -1,0 +1,137 @@
+"""Ear-canal coupling, privacy controls, RF coexistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import EarCanalCoupling
+from repro.signals import Tone, WhiteNoise
+from repro.utils.units import snr_db
+from repro.wireless import (
+    CarrierSenseModel,
+    ScramblingCodec,
+    allocate_channels,
+    leakage_radius_m,
+    max_colocated_relays,
+    minimum_tx_power_dbm,
+    received_audio_snr_db,
+)
+
+
+class TestEarCanalCoupling:
+    def test_canal_resonance_boosts(self):
+        ear = EarCanalCoupling()
+        tone = Tone(2700.0, level_rms=0.2).generate(1.0)
+        at_drum = ear.ambient_to_drum(tone)
+        gain_db = 20 * np.log10(np.sqrt(np.mean(at_drum[500:-500] ** 2))
+                                / np.sqrt(np.mean(tone[500:-500] ** 2)))
+        assert gain_db > 4.0
+
+    def test_perfect_mic_cancellation_leaks_at_drum(self):
+        ear = EarCanalCoupling(mismatch_delay_s=35e-6)
+        ambient = WhiteNoise(seed=1, level_rms=0.2).generate(1.0)
+        anti = -ambient          # perfect cancellation at the mic
+        drum = ear.drum_pressure(ambient, anti)
+        # Residual exists and grows toward high frequency.
+        assert np.sqrt(np.mean(drum ** 2)) > 1e-3
+
+    def test_calibrated_coupling_cancels_at_drum(self):
+        ear = EarCanalCoupling().calibrated()
+        ambient = WhiteNoise(seed=1, level_rms=0.2).generate(1.0)
+        drum = ear.drum_pressure(ambient, -ambient)
+        margin = 200
+        assert np.sqrt(np.mean(drum[margin:-margin] ** 2)) < 1e-6
+
+    def test_mismatch_residual_grows_with_frequency(self):
+        ear = EarCanalCoupling(mismatch_delay_s=35e-6)
+        freqs = np.array([200.0, 1000.0, 3000.0])
+        residual = ear.mismatch_residual_db(freqs)
+        assert residual[0] < residual[1] < residual[2]
+
+    def test_rejects_bad_resonance(self):
+        with pytest.raises(ConfigurationError):
+            EarCanalCoupling(canal_resonance_hz=5000.0, sample_rate=8000.0)
+
+
+class TestPrivacy:
+    def test_power_control_closed_loop(self):
+        """Minimum power serves the client at exactly the required SNR
+        plus margin."""
+        tx = minimum_tx_power_dbm(3.0, required_snr_db=30.0, margin_db=6.0)
+        at_client = received_audio_snr_db(tx, 3.0)
+        assert at_client == pytest.approx(36.0, abs=0.1)
+
+    def test_leakage_radius_shrinks_with_power(self):
+        hot = leakage_radius_m(0.0)
+        cold = leakage_radius_m(-20.0)
+        assert cold < hot / 5.0
+
+    def test_leakage_radius_consistent_with_snr(self):
+        tx = minimum_tx_power_dbm(3.0)
+        radius = leakage_radius_m(tx, usable_snr_db=10.0)
+        # At the radius the SNR is exactly the usable threshold.
+        assert received_audio_snr_db(tx, radius) == pytest.approx(10.0,
+                                                                  abs=0.1)
+
+    def test_scrambling_roundtrip(self):
+        audio = WhiteNoise(seed=3, level_rms=0.2).generate(1.0)
+        codec = ScramblingCodec(seed=42, mask_to_signal=10.0)
+        scrambled, level = codec.scramble(audio)
+        recovered = codec.descramble(scrambled, level)
+        np.testing.assert_allclose(recovered, audio, atol=1e-9)
+
+    def test_scrambling_buries_audio(self):
+        audio = WhiteNoise(seed=3, level_rms=0.2).generate(1.0)
+        codec = ScramblingCodec(seed=42, mask_to_signal=10.0)
+        scrambled, __ = codec.scramble(audio)
+        # To an eavesdropper the mask is noise: SNR ≈ −20 dB.
+        assert snr_db(audio, scrambled - audio) == pytest.approx(-20.0,
+                                                                 abs=1.0)
+        assert codec.eavesdropper_snr_db() == pytest.approx(-20.0)
+
+    def test_wrong_seed_fails_to_descramble(self):
+        audio = WhiteNoise(seed=3, level_rms=0.2).generate(1.0)
+        good = ScramblingCodec(seed=42)
+        bad = ScramblingCodec(seed=43)
+        scrambled, level = good.scramble(audio)
+        wrong = bad.descramble(scrambled, level)
+        assert snr_db(audio, wrong - audio) < -10.0
+
+
+class TestCoexistence:
+    def test_allocation_fits_paper_scale(self):
+        centers = allocate_channels(4, 32000.0)
+        assert len(centers) == 4
+        # Channels don't overlap.
+        assert all(b - a >= 32000.0 for a, b in zip(centers, centers[1:]))
+
+    def test_allocation_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allocate_channels(2000, 32000.0)
+
+    def test_band_holds_hundreds_of_relays(self):
+        # The paper: "the total bandwidth occupied remains a small
+        # fraction" — concretely, hundreds of FM relays fit.
+        assert max_colocated_relays(32000.0) > 500
+
+    def test_carrier_sense_probabilities_sum(self):
+        model = CarrierSenseModel(n_relays=5, activity=0.3)
+        multi = (1.0 - model.idle_probability
+                 - model.single_tx_probability)
+        assert 0.0 <= model.collision_probability <= multi
+
+    def test_few_relays_stream_fine(self):
+        assert CarrierSenseModel(n_relays=2, activity=0.4) \
+            .supports_streaming(required_duty=0.6)
+
+    def test_crowd_contention_fails(self):
+        crowded = CarrierSenseModel(n_relays=30, activity=0.5)
+        assert not crowded.supports_streaming()
+
+    def test_goodput_decreases_with_contenders(self):
+        few = CarrierSenseModel(n_relays=2, activity=0.5)
+        many = CarrierSenseModel(n_relays=10, activity=0.5)
+        assert many.goodput_per_relay < few.goodput_per_relay
+
+    def test_summary_renders(self):
+        assert "goodput" in CarrierSenseModel(3).summary()

@@ -1,0 +1,119 @@
+"""Edge ANC service and the digital-relay ablation model."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeAncService, EdgeClient
+from repro.core.edge import EdgeAncService as _Service
+from repro.errors import ConfigurationError
+from repro.signals import WhiteNoise
+from repro.wireless.digital import (
+    DigitalRelay,
+    bluetooth_like_relay,
+    low_latency_digital_relay,
+)
+
+
+def _toy_client(name, seed, T=8000):
+    rng = np.random.default_rng(seed)
+    n = rng.standard_normal(T) * 0.1
+    delta = 12
+    x = np.zeros(T)
+    x[delta:] = np.convolve(n, [1.0, 0.5])[:T][:-delta]
+    d = np.zeros(T)
+    d[delta:] = n[:-delta]
+    s = np.array([0.0, 1.0])
+    return EdgeClient(name=name, reference=x, disturbance=d,
+                      secondary_true=s, secondary_estimate=s, n_future=8)
+
+
+class TestEdgeService:
+    def test_full_rate_when_under_capacity(self):
+        service = EdgeAncService(capacity=2)
+        assert service._adaptation_mask(100, 0, 2) is None
+
+    @pytest.mark.parametrize("n_clients,capacity", [(4, 2), (6, 2), (3, 1)])
+    def test_duty_matches_capacity_ratio(self, n_clients, capacity):
+        service = EdgeAncService(capacity=capacity)
+        n = 6000
+        duties = []
+        for i in range(n_clients):
+            mask = service._adaptation_mask(n, i, n_clients)
+            duties.append(mask.mean())
+        expected = capacity / n_clients
+        for duty in duties:
+            assert duty == pytest.approx(expected, abs=0.05)
+
+    def test_every_sample_serves_capacity_clients(self):
+        service = EdgeAncService(capacity=2)
+        n_clients, n = 5, 1000
+        masks = np.array([service._adaptation_mask(n, i, n_clients)
+                          for i in range(n_clients)])
+        per_sample = masks.sum(axis=0)
+        assert np.all(per_sample == 2)
+
+    def test_serve_cancels_for_everyone(self):
+        service = EdgeAncService(capacity=2, n_past=32, mu=0.4)
+        clients = [_toy_client(f"u{i}", seed=i) for i in range(4)]
+        result = service.serve(clients)
+        assert result.n_clients == 4
+        assert result.adaptation_duty == pytest.approx(0.5)
+        for value in result.cancellation_db.values():
+            assert value < -10.0
+
+    def test_duplicate_names_rejected(self):
+        service = EdgeAncService(capacity=2, n_past=16)
+        clients = [_toy_client("same", 0), _toy_client("same", 1)]
+        with pytest.raises(ConfigurationError):
+            service.serve(clients)
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _Service().serve([])
+
+
+class TestDigitalRelay:
+    def test_latency_terms_sum(self):
+        relay = DigitalRelay(frame_s=10e-3, codec_delay_s=2e-3,
+                             radio_delay_s=1e-3, jitter_buffer_s=4e-3)
+        assert relay.latency_s == pytest.approx(17e-3)
+        assert relay.latency_samples == 136   # at 8 kHz
+
+    def test_forward_is_delayed_copy(self):
+        relay = DigitalRelay(frame_s=2e-3, codec_delay_s=0.0,
+                             radio_delay_s=0.0, bits=None)
+        x = WhiteNoise(seed=1, level_rms=0.1).generate(0.5)
+        out = relay.forward(x)
+        d = relay.latency_samples
+        np.testing.assert_allclose(out[d:], x[:-d], atol=1e-12)
+
+    def test_quantization_applied(self):
+        relay = DigitalRelay(bits=4)
+        x = WhiteNoise(seed=2, level_rms=0.1).generate(0.25)
+        out = relay.forward(x)
+        # 4-bit output takes few distinct values.
+        assert np.unique(np.round(out, 9)).size < 40
+
+    def test_packet_loss_zeroes_frames(self):
+        relay = DigitalRelay(frame_s=10e-3, packet_loss=0.5, seed=3,
+                             bits=None)
+        x = np.ones(8000)
+        out = relay.forward(x)
+        d = relay.latency_samples
+        body = out[d:]
+        zero_fraction = np.mean(body == 0.0)
+        assert 0.2 < zero_fraction < 0.8
+
+    def test_presets_ordering(self):
+        bt = bluetooth_like_relay()
+        fast = low_latency_digital_relay()
+        assert bt.latency_s > 3 * fast.latency_s
+        assert fast.latency_s > 2e-3
+
+    def test_stores_samples_flag(self):
+        # The privacy property the analog design avoids.
+        assert DigitalRelay().stores_samples is True
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ConfigurationError):
+            DigitalRelay(packet_loss=1.0)

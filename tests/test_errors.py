@@ -1,0 +1,33 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_signal_error_is_value_error():
+    assert issubclass(errors.SignalError, ValueError)
+
+
+def test_convergence_error_is_runtime_error():
+    assert issubclass(errors.ConvergenceError, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.LookaheadError("boom")
+
+
+def test_errors_carry_messages():
+    exc = errors.ChannelError("empty impulse response")
+    assert "empty impulse response" in str(exc)

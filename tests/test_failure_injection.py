@@ -1,0 +1,117 @@
+"""Failure injection: what breaks gracefully, what must raise."""
+
+import numpy as np
+import pytest
+
+from repro.core import LancFilter, MuteConfig, MuteSystem, StreamingLanc
+from repro.errors import ConfigurationError, LookaheadError
+from repro.signals import WhiteNoise
+from repro.utils.buffers import LookaheadBuffer
+from repro.wireless.digital import DigitalRelay
+
+SECONDARY = np.array([0.0, 1.0])
+
+
+class TestReferenceDropout:
+    """A relay stream that goes silent mid-run (RF fade / mute)."""
+
+    def _scene(self, T=12000, seed=0):
+        rng = np.random.default_rng(seed)
+        n = rng.standard_normal(T) * 0.1
+        delta = 12
+        x = np.zeros(T)
+        x[delta:] = np.convolve(n, [1.0, 0.5])[:T][:-delta]
+        d = np.zeros(T)
+        d[delta:] = n[:-delta]
+        return x, d
+
+    def test_dropout_degrades_but_recovers(self):
+        x, d = self._scene()
+        # Kill the reference for 1 s in the middle.
+        x_faded = x.copy()
+        hole = slice(5000, 6000)
+        x_faded[hole] = 0.0
+        f = LancFilter(6, 48, SECONDARY, mu=0.3)
+        result = f.run(x_faded, d)
+        during = np.sqrt(np.mean(result.error[5200:5900] ** 2))
+        after = np.sqrt(np.mean(result.error[-2000:] ** 2))
+        d_rms = np.sqrt(np.mean(d[5200:5900] ** 2))
+        # During the fade the device cannot cancel (error ≈ disturbance)...
+        assert during > 0.5 * d_rms
+        # ...but recovers once the reference returns.
+        assert after < 0.2 * d_rms
+
+    def test_dropout_never_diverges(self):
+        x, d = self._scene()
+        x[4000:7000] = 0.0
+        f = LancFilter(6, 48, SECONDARY, mu=0.5)
+        result = f.run(x, d)
+        assert np.all(np.isfinite(result.error))
+
+
+class TestPacketLossThroughAnc:
+    def test_loss_costs_cancellation(self):
+        """Digital-relay frame loss translates to lost cancellation."""
+        rng = np.random.default_rng(3)
+        T = 16000
+        n = rng.standard_normal(T) * 0.1
+        delta = 30
+        d = np.zeros(T)
+        d[delta:] = n[:-delta]
+
+        def run_with(relay):
+            forwarded = relay.forward(n)
+            lag = relay.latency_samples
+            # Align what lookahead remains after the relay's latency.
+            shift = delta - lag
+            assert shift > 0, "test setup: relay must leave lookahead"
+            x = np.zeros(T)
+            x[shift + lag:] = forwarded[lag: T - shift]
+            f = LancFilter(4, 48, SECONDARY, mu=0.3)
+            result = f.run(x, d)
+            tail = result.error[-4000:]
+            return 10 * np.log10(np.mean(tail ** 2)
+                                 / np.mean(d[-4000:] ** 2))
+
+        clean = run_with(DigitalRelay(frame_s=1e-3, codec_delay_s=0.0,
+                                      radio_delay_s=0.0, bits=None))
+        lossy = run_with(DigitalRelay(frame_s=1e-3, codec_delay_s=0.0,
+                                      radio_delay_s=0.0, bits=None,
+                                      packet_loss=0.2, seed=7))
+        assert lossy > clean + 3.0
+
+
+class TestStrictFailures:
+    """Conditions that must raise, not limp along."""
+
+    def test_lookahead_buffer_underrun(self):
+        lb = LookaheadBuffer(lookahead=8, history=8)
+        lb.feed_block(np.zeros(8))
+        with pytest.raises(LookaheadError, match="underrun"):
+            lb.advance()
+
+    def test_streaming_underrun(self):
+        f = LancFilter(8, 8, SECONDARY)
+        stream = StreamingLanc(f)
+        stream.feed(np.zeros(4))
+        with pytest.raises(ConfigurationError, match="underrun"):
+            stream.process(np.zeros(4))
+
+    def test_negative_lookahead_refused(self, fast_scenario):
+        import dataclasses
+
+        swapped = dataclasses.replace(
+            fast_scenario,
+            client=fast_scenario.relays[0],
+            relays=(fast_scenario.client,),
+        )
+        system = MuteSystem(swapped, MuteConfig(probe_secondary=False))
+        with pytest.raises(LookaheadError):
+            system.prepare(WhiteNoise(seed=0, level_rms=0.1).generate(0.5))
+
+    def test_nan_reference_rejected(self):
+        f = LancFilter(2, 8, SECONDARY)
+        bad = np.zeros(100)
+        bad[50] = np.nan
+        with pytest.raises(Exception):
+            f.run(bad, np.zeros(100))

@@ -1,0 +1,93 @@
+"""FM modulation/demodulation chain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import Tone, WhiteNoise
+from repro.utils.units import snr_db
+from repro.wireless import FmDemodulator, FmModulator, resample
+
+
+def _roundtrip_snr(audio, **kwargs):
+    mod = FmModulator(**kwargs)
+    dem = FmDemodulator(**kwargs)
+    recovered = dem.demodulate(mod.modulate(audio))
+    margin = 400
+    clean = audio[margin: audio.size - margin]
+    error = recovered[margin: audio.size - margin] - clean
+    return snr_db(clean, error)
+
+
+class TestResample:
+    def test_identity(self):
+        x = np.arange(10, dtype=float)
+        np.testing.assert_array_equal(resample(x, 8000, 8000), x)
+
+    def test_ratio(self):
+        x = np.zeros(800)
+        assert resample(x, 8000, 96000).size == 9600
+
+    def test_roundtrip_preserves_content(self):
+        x = Tone(440.0, level_rms=0.3).generate(0.5)
+        back = resample(resample(x, 8000, 96000), 96000, 8000)
+        margin = 100
+        assert snr_db(x[margin:-margin],
+                      back[margin: x.size - margin] - x[margin:-margin]) > 40
+
+    def test_rejects_non_integer_rates(self):
+        with pytest.raises(ConfigurationError):
+            resample(np.zeros(10), 8000.5, 96000)
+
+
+class TestFmModulator:
+    def test_constant_envelope(self):
+        mod = FmModulator(amplitude=2.0)
+        bb = mod.modulate(WhiteNoise(seed=0, level_rms=0.2).generate(0.2))
+        np.testing.assert_allclose(np.abs(bb), 2.0, atol=1e-9)
+
+    def test_carson_bandwidth_guard(self):
+        with pytest.raises(ConfigurationError):
+            FmModulator(rf_rate=16000.0, deviation_hz=12000.0)
+
+    def test_occupied_bandwidth(self):
+        mod = FmModulator(deviation_hz=12000.0, audio_rate=8000.0)
+        assert mod.occupied_bandwidth_hz == pytest.approx(32000.0)
+
+
+class TestRoundTrip:
+    def test_tone_high_snr(self):
+        tone = Tone(440.0, level_rms=0.2).generate(0.5)
+        assert _roundtrip_snr(tone) > 40.0
+
+    def test_white_noise_reasonable_snr(self):
+        noise = WhiteNoise(seed=1, level_rms=0.2).generate(0.5)
+        # Band-edge rolloff limits raw SNR for full-band noise.
+        assert _roundtrip_snr(noise) > 5.0
+
+    def test_dc_removed(self):
+        tone = Tone(300.0, level_rms=0.2).generate(0.5)
+        mod, dem = FmModulator(), FmDemodulator()
+        out = dem.demodulate(mod.modulate(tone))
+        assert abs(np.mean(out)) < 1e-9
+
+    def test_cfo_becomes_dc_and_is_removed(self):
+        tone = Tone(440.0, level_rms=0.2).generate(0.5)
+        mod, dem = FmModulator(), FmDemodulator()
+        bb = mod.modulate(tone)
+        t = np.arange(bb.size) / 96000.0
+        shifted = bb * np.exp(2j * np.pi * 3000.0 * t)   # 3 kHz CFO
+        out = dem.demodulate(shifted)
+        margin = 400
+        err = out[margin: tone.size - margin] - tone[margin:-margin]
+        assert snr_db(tone[margin:-margin], err) > 35.0
+
+    def test_no_dc_removal_keeps_cfo_offset(self):
+        tone = Tone(440.0, level_rms=0.2).generate(0.5)
+        mod = FmModulator()
+        dem = FmDemodulator(remove_dc=False)
+        bb = mod.modulate(tone)
+        t = np.arange(bb.size) / 96000.0
+        out = dem.demodulate(bb * np.exp(2j * np.pi * 3000.0 * t))
+        # CFO of 3 kHz over a 12 kHz deviation → DC offset of 0.25.
+        assert np.mean(out[400:-400]) == pytest.approx(0.25, abs=0.02)

@@ -1,0 +1,78 @@
+"""Points, rooms, and scenario geometry."""
+
+import math
+
+import pytest
+
+from repro.acoustics import Point, Room, distance, propagation_time
+from repro.acoustics.constants import SPEED_OF_SOUND
+from repro.errors import ConfigurationError
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0, 0).distance_to(Point(3, 4, 0)) == 5.0
+
+    def test_distance_3d(self):
+        assert Point(1, 2, 3).distance_to(Point(1, 2, 5)) == 2.0
+
+    def test_frozen(self):
+        p = Point(1, 2, 3)
+        with pytest.raises(Exception):
+            p.x = 9
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            Point(float("nan"), 0.0)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0, 3.0).as_tuple() == (1.0, 2.0, 3.0)
+
+
+class TestModuleHelpers:
+    def test_distance_function(self):
+        assert distance(Point(0, 0), Point(0, 3)) == 3.0
+
+    def test_propagation_time(self):
+        t = propagation_time(Point(0, 0), Point(SPEED_OF_SOUND, 0))
+        assert t == pytest.approx(1.0)
+
+    def test_propagation_rejects_bad_speed(self):
+        with pytest.raises(ConfigurationError):
+            propagation_time(Point(0, 0), Point(1, 0), speed=0.0)
+
+
+class TestRoom:
+    def test_reflection_coefficient(self):
+        room = Room(4, 3, 3, absorption=0.19)
+        assert room.reflection_coefficient == pytest.approx(math.sqrt(0.81))
+
+    def test_contains(self):
+        room = Room(4, 3, 3)
+        assert room.contains(Point(2, 1.5, 1.5))
+        assert not room.contains(Point(5, 1, 1))
+        assert not room.contains(Point(2, 1, -0.1))
+
+    def test_contains_with_margin(self):
+        room = Room(4, 3, 3)
+        assert not room.contains(Point(0.05, 1, 1), margin=0.1)
+
+    def test_require_inside_raises(self):
+        room = Room(4, 3, 3)
+        with pytest.raises(ConfigurationError, match="mic"):
+            room.require_inside("mic", Point(10, 1, 1))
+
+    def test_require_inside_returns_point(self):
+        room = Room(4, 3, 3)
+        p = Point(1, 1, 1)
+        assert room.require_inside("mic", p) is p
+
+    @pytest.mark.parametrize("bad", [
+        dict(length=0.0, width=3, height=3),
+        dict(length=4, width=-1, height=3),
+        dict(length=4, width=3, height=3, absorption=1.0),
+        dict(length=4, width=3, height=3, absorption=-0.1),
+    ])
+    def test_rejects_bad_parameters(self, bad):
+        with pytest.raises(ConfigurationError):
+            Room(**bad)

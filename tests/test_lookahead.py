@@ -1,0 +1,57 @@
+"""Lookahead arithmetic (Eq. 3 / Eq. 4)."""
+
+import pytest
+
+from repro.core import LookaheadBudget, lookahead_samples, lookahead_seconds
+from repro.errors import ConfigurationError
+
+
+class TestEq4:
+    def test_one_meter_is_about_3ms(self):
+        # The paper: "when (de - dr) is just 1 m, lookahead is ~3 ms".
+        assert lookahead_seconds(4.0, 3.0) == pytest.approx(2.94e-3,
+                                                            rel=0.01)
+
+    def test_negative_when_relay_farther(self):
+        assert lookahead_seconds(1.0, 2.0) < 0.0
+
+    def test_samples_floor(self):
+        assert lookahead_samples(1.0, 0.0, 8000.0) == 23   # 23.5 floored
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            lookahead_seconds(-1.0, 0.0)
+
+
+class TestBudget:
+    def test_usable_subtracts_everything(self):
+        b = LookaheadBudget(acoustic_lead_s=10e-3, pipeline_latency_s=3e-3,
+                            relay_latency_s=1e-3, injected_delay_s=2e-3)
+        assert b.usable_lookahead_s == pytest.approx(4e-3)
+        assert b.usable_future_taps(8000.0) == 32
+
+    def test_meets_deadline(self):
+        assert LookaheadBudget(acoustic_lead_s=5e-3,
+                               pipeline_latency_s=3e-3).meets_deadline
+        assert not LookaheadBudget(acoustic_lead_s=1e-3,
+                                   pipeline_latency_s=3e-3).meets_deadline
+
+    def test_playback_lag(self):
+        b = LookaheadBudget(acoustic_lead_s=1e-3, pipeline_latency_s=3e-3)
+        assert b.playback_lag_s == pytest.approx(2e-3)
+        met = LookaheadBudget(acoustic_lead_s=5e-3, pipeline_latency_s=3e-3)
+        assert met.playback_lag_s == 0.0
+
+    def test_future_taps_never_negative(self):
+        b = LookaheadBudget(acoustic_lead_s=-5e-3)
+        assert b.usable_future_taps(8000.0) == 0
+
+    def test_with_injected_delay(self):
+        b = LookaheadBudget(acoustic_lead_s=10e-3)
+        b2 = b.with_injected_delay(4e-3)
+        assert b2.usable_lookahead_s == pytest.approx(6e-3)
+        assert b.injected_delay_s == 0.0   # original untouched
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            LookaheadBudget(acoustic_lead_s=1e-3, pipeline_latency_s=-1e-3)

@@ -1,0 +1,93 @@
+"""Evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.eval.metrics import (
+    CancellationCurve,
+    additional_cancellation_db,
+    band_means,
+    convergence_envelope,
+    measure_cancellation,
+)
+from repro.signals import WhiteNoise
+
+
+def _flat_curve(value_db=-10.0, label="flat"):
+    freqs = np.linspace(0.0, 4000.0, 129)
+    return CancellationCurve(label=label, freqs=freqs,
+                             values_db=np.full(129, value_db))
+
+
+class TestCancellationCurve:
+    def test_mean_over_band(self):
+        assert _flat_curve(-12.0).mean_db(0, 2000) == pytest.approx(-12.0)
+
+    def test_mean_empty_band_raises(self):
+        with pytest.raises(SignalError):
+            _flat_curve().mean_db(5000.0, 6000.0)
+
+    def test_at_nearest_bin(self):
+        curve = _flat_curve()
+        assert curve.at(1234.0) == -10.0
+
+    def test_smoothed_copy(self):
+        curve = _flat_curve()
+        smooth = curve.smoothed()
+        assert smooth is not curve
+        np.testing.assert_allclose(smooth.values_db, -10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SignalError):
+            CancellationCurve("x", np.zeros(4), np.zeros(5))
+
+
+class TestMeasureCancellation:
+    def test_known_attenuation(self):
+        x = WhiteNoise(seed=0, level_rms=0.5).generate(4.0)
+        curve = measure_cancellation(x, 0.1 * x, 8000.0, label="20dB")
+        assert curve.mean_db(200, 3800) == pytest.approx(-20.0, abs=1.0)
+
+    def test_settle_fraction_excludes_transient(self):
+        x = WhiteNoise(seed=1, level_rms=0.5).generate(4.0)
+        after = 0.01 * x.copy()
+        after[:8000] = x[:8000]          # loud first second (transient)
+        curve = measure_cancellation(x, after, 8000.0, settle_fraction=0.5)
+        assert curve.mean_db(200, 3800) < -30.0
+
+    def test_label_attached(self):
+        x = WhiteNoise(seed=0).generate(1.0)
+        assert measure_cancellation(x, x, 8000.0, label="me").label == "me"
+
+
+class TestBandMeans:
+    def test_rows(self):
+        curve = _flat_curve(-8.0)
+        rows = band_means(curve, [0, 1000, 2000])
+        assert len(rows) == 2
+        (band, value) = rows[0]
+        assert band == (0.0, 1000.0)
+        assert value == pytest.approx(-8.0)
+
+
+class TestAdditionalCancellation:
+    def test_difference(self):
+        delta = additional_cancellation_db(_flat_curve(-13.0, "a"),
+                                           _flat_curve(-10.0, "b"))
+        np.testing.assert_allclose(delta.values_db, -3.0)
+
+    def test_grid_mismatch(self):
+        a = _flat_curve()
+        b = CancellationCurve("b", np.linspace(0, 4000, 65), np.zeros(65))
+        with pytest.raises(SignalError):
+            additional_cancellation_db(a, b)
+
+
+class TestConvergenceEnvelope:
+    def test_envelope_tracks_level_change(self):
+        error = np.concatenate([np.ones(4000), 0.1 * np.ones(4000)])
+        times, env = convergence_envelope(error, 8000.0, window_s=0.05)
+        assert env[1000] == pytest.approx(1.0, rel=0.05)
+        assert env[7000] == pytest.approx(0.1, rel=0.1)
+        assert times[-1] == pytest.approx(1.0, abs=1e-3)

@@ -1,0 +1,147 @@
+"""Multi-reference LANC and the multi-source scene builder."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Point, Room
+from repro.acoustics.rir import RirSettings
+from repro.core import (
+    LancFilter,
+    MultiRefLancFilter,
+    Scenario,
+    build_multisource_scene,
+)
+from repro.errors import ConfigurationError, LookaheadError
+from repro.signals import BandlimitedNoise, WhiteNoise
+from repro.utils.units import cancellation_db
+
+SECONDARY = np.array([0.0, 1.0, 0.2])
+
+
+def _two_source_toy(rng, T=10000):
+    """Two independent sources, each with its own aligned reference."""
+    n1 = rng.standard_normal(T)
+    n2 = rng.standard_normal(T)
+    delta = 14
+    g1 = np.array([1.0, 0.6])
+    g2 = np.array([1.0, -0.4, 0.2])
+
+    def shift(sig):
+        out = np.zeros(T)
+        out[delta:] = sig[:-delta]
+        return out
+
+    x1 = shift(np.convolve(n1, g1)[:T])
+    x2 = shift(np.convolve(n2, g2)[:T])
+    d = shift(n1) + shift(n2)
+    return [x1, x2], d
+
+
+class TestMultiRefLancFilter:
+    def test_cancels_two_source_mixture(self, rng):
+        refs, d = _two_source_toy(rng)
+        multi = MultiRefLancFilter([6, 6], 40, SECONDARY, mu=0.3)
+        result = multi.run(refs, d, secondary_path_true=SECONDARY)
+        tail = slice(d.size // 2, None)
+        assert cancellation_db(d[tail], result.error[tail]) < -15.0
+
+    def test_beats_single_reference(self, rng):
+        refs, d = _two_source_toy(rng)
+        single = LancFilter(6, 40, SECONDARY, mu=0.3)
+        r_single = single.run(refs[0], d, secondary_path_true=SECONDARY)
+        multi = MultiRefLancFilter([6, 6], 40, SECONDARY, mu=0.3)
+        r_multi = multi.run(refs, d, secondary_path_true=SECONDARY)
+        tail = slice(d.size // 2, None)
+        single_db = cancellation_db(d[tail], r_single.error[tail])
+        multi_db = cancellation_db(d[tail], r_multi.error[tail])
+        assert multi_db < single_db - 6.0
+
+    def test_one_branch_equals_lanc(self, rng):
+        """Degenerate case: one branch must match LancFilter exactly."""
+        refs, d = _two_source_toy(rng, T=3000)
+        lanc = LancFilter(6, 24, SECONDARY, mu=0.3)
+        r1 = lanc.run(refs[0], d)
+        multi = MultiRefLancFilter([6], 24, SECONDARY, mu=0.3)
+        r2 = multi.run([refs[0]], d)
+        np.testing.assert_allclose(r1.error, r2.error, atol=1e-10)
+
+    def test_per_branch_future_taps(self):
+        multi = MultiRefLancFilter([4, 10], 16, SECONDARY)
+        assert multi.taps[0].size == 20
+        assert multi.taps[1].size == 26
+
+    def test_set_get_taps(self):
+        multi = MultiRefLancFilter([2, 3], 4, SECONDARY)
+        new = [np.ones(6), np.full(7, 2.0)]
+        multi.set_taps(new)
+        got = multi.get_taps()
+        got[0][0] = 99.0
+        assert multi.taps[0][0] == 1.0
+
+    def test_set_taps_shape_checked(self):
+        multi = MultiRefLancFilter([2, 3], 4, SECONDARY)
+        with pytest.raises(ConfigurationError):
+            multi.set_taps([np.ones(6)])
+        with pytest.raises(ConfigurationError):
+            multi.set_taps([np.ones(5), np.ones(7)])
+
+    def test_reference_count_checked(self, rng):
+        refs, d = _two_source_toy(rng, T=1000)
+        multi = MultiRefLancFilter([2, 2], 8, SECONDARY)
+        with pytest.raises(ConfigurationError):
+            multi.run([refs[0]], d)
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiRefLancFilter([], 8, SECONDARY)
+
+    def test_reset(self, rng):
+        refs, d = _two_source_toy(rng, T=2000)
+        multi = MultiRefLancFilter([2, 2], 8, SECONDARY, mu=0.3)
+        multi.run(refs, d)
+        multi.reset()
+        assert all(np.all(t == 0.0) for t in multi.taps)
+
+
+class TestBuildMultisourceScene:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        room = Room(6.0, 5.0, 3.0, absorption=0.4)
+        scenario = Scenario(
+            room=room, source=Point(1, 1, 1.2), client=Point(4.5, 2.5, 1.2),
+            relays=(Point(1.2, 0.7, 1.3), Point(1.0, 4.2, 1.3)),
+            rir_settings=RirSettings(max_order=1),
+        )
+        sources = [Point(0.9, 0.9, 1.3), Point(0.8, 4.3, 1.3)]
+        return scenario, sources
+
+    def test_builds_aligned_branches(self, layout):
+        scenario, sources = layout
+        waves = [WhiteNoise(seed=i, level_rms=0.05).generate(1.0)
+                 for i in range(2)]
+        scene = build_multisource_scene(scenario, sources, waves, seed=1)
+        assert len(scene.references) == 2
+        assert all(n > 0 for n in scene.n_futures)
+        assert scene.disturbance.size == waves[0].size
+
+    def test_source_relay_count_mismatch(self, layout):
+        scenario, sources = layout
+        waves = [WhiteNoise(seed=0, level_rms=0.05).generate(0.5)]
+        with pytest.raises(ConfigurationError):
+            build_multisource_scene(scenario, sources[:1], waves)
+
+    def test_waveform_length_mismatch(self, layout):
+        scenario, sources = layout
+        waves = [WhiteNoise(seed=0, level_rms=0.05).generate(0.5),
+                 WhiteNoise(seed=1, level_rms=0.05).generate(0.6)]
+        with pytest.raises(ConfigurationError):
+            build_multisource_scene(scenario, sources, waves)
+
+    def test_no_lookahead_rejected(self, layout):
+        scenario, __ = layout
+        # Sources right next to the client: relays hear them late.
+        bad_sources = [Point(4.4, 2.4, 1.2), Point(4.6, 2.6, 1.2)]
+        waves = [BandlimitedNoise(100, 3000, seed=i, level_rms=0.05)
+                 .generate(0.5) for i in range(2)]
+        with pytest.raises(LookaheadError):
+            build_multisource_scene(scenario, bad_sources, waves)

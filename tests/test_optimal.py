@@ -1,0 +1,79 @@
+"""The Wiener-optimal bound."""
+
+import numpy as np
+import pytest
+
+from repro.core import LancFilter, optimal_cancellation_db, wiener_lanc
+from repro.errors import ConfigurationError
+
+SECONDARY = np.array([0.0, 0.0, 0.9, 0.1])
+
+
+def _scene(seed=0, T=16000, delta=16):
+    rng = np.random.default_rng(seed)
+    n = rng.standard_normal(T)
+    x = np.zeros(T)
+    x[delta:] = np.convolve(n, [1.0, 1.5])[:T][:-delta]
+    d = np.zeros(T)
+    d[delta:] = n[:-delta]
+    return x, d
+
+
+class TestWienerLanc:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        x, d = _scene()
+        return wiener_lanc(x, d, SECONDARY, n_future=12, n_past=64), x, d
+
+    def test_taps_loadable_into_lanc(self, solution):
+        sol, x, d = solution
+        f = LancFilter(12, 64, SECONDARY)
+        f.set_taps(sol.taps)
+        frozen = f.run(x, d, adapt=False)
+        np.testing.assert_allclose(frozen.error[200:-200],
+                                   sol.residual[200:-200], atol=1e-8)
+
+    def test_optimal_beats_adaptive(self, solution):
+        sol, x, d = solution
+        adaptive = LancFilter(12, 64, SECONDARY, mu=0.5).run(x, d)
+        # The bound is a bound: adaptive steady state cannot beat it
+        # (up to the convergence-window measurement noise).
+        assert sol.residual_rms <= adaptive.converged_error() * 1.05
+
+    def test_adaptive_approaches_optimal(self, solution):
+        sol, x, d = solution
+        adaptive = LancFilter(12, 64, SECONDARY, mu=0.5).run(x, d)
+        assert adaptive.converged_error() < 3.0 * sol.residual_rms
+
+    def test_causality_limit_at_optimum(self):
+        """Even the *optimal* causal filter fails on this scene —
+        the non-causality is structural, not an adaptation artifact."""
+        x, d = _scene()
+        causal = wiener_lanc(x, d, SECONDARY, n_future=0, n_past=76)
+        two_sided = wiener_lanc(x, d, SECONDARY, n_future=12, n_past=64)
+        d_rms = float(np.sqrt(np.mean(d ** 2)))
+        assert causal.residual_rms > 0.5 * d_rms
+        assert two_sided.residual_rms < 0.1 * d_rms
+
+    def test_monotone_in_n_future(self):
+        x, d = _scene()
+        residuals = [
+            wiener_lanc(x, d, SECONDARY, n_future=n, n_past=64).residual_rms
+            for n in (0, 4, 8, 16)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(residuals, residuals[1:]))
+
+    def test_optimal_cancellation_db_helper(self):
+        x, d = _scene()
+        db = optimal_cancellation_db(x, d, SECONDARY, 12, 64)
+        assert db < -25.0
+
+    def test_too_many_taps_rejected(self):
+        x, d = _scene(T=512)
+        with pytest.raises(ConfigurationError):
+            wiener_lanc(x, d, SECONDARY, n_future=100, n_past=400)
+
+    def test_zero_disturbance_zero_taps(self):
+        x, __ = _scene(T=4000)
+        sol = wiener_lanc(x, np.zeros(4000), SECONDARY, 4, 16)
+        np.testing.assert_allclose(sol.taps, 0.0, atol=1e-10)

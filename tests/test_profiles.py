@@ -1,0 +1,240 @@
+"""Sound profiles: signatures, classifier, cache, predictive switcher."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FilterCache,
+    LancFilter,
+    PredictiveProfileSwitcher,
+    ProfileClassifier,
+    SoundProfile,
+    signature_distance,
+)
+from repro.errors import ConfigurationError
+from repro.signals import BandlimitedNoise, MaleVoice
+
+FS = 8000.0
+
+
+def _speech(seconds=1.0, seed=0):
+    return MaleVoice(sample_rate=FS, level_rms=0.2, seed=seed,
+                     speech_fraction=1.0).generate(seconds)
+
+
+def _background(seconds=1.0, seed=0):
+    return BandlimitedNoise(100.0, 3600.0, sample_rate=FS, level_rms=0.2,
+                            seed=seed).generate(seconds)
+
+
+class TestSoundProfile:
+    def test_signature_normalized(self):
+        p = SoundProfile("x", np.array([2.0, 6.0]))
+        np.testing.assert_allclose(p.signature, [0.25, 0.75])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ConfigurationError):
+            SoundProfile("x", np.zeros(4))
+
+
+class TestSignatureDistance:
+    def test_zero_for_identical(self):
+        sig = np.array([0.5, 0.5])
+        assert signature_distance(sig, sig) == 0.0
+
+    def test_max_two_for_disjoint(self):
+        assert signature_distance(np.array([1.0, 0.0]),
+                                  np.array([0.0, 1.0])) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            signature_distance(np.ones(2), np.ones(3))
+
+
+class TestProfileClassifier:
+    @pytest.fixture()
+    def trained(self):
+        clf = ProfileClassifier(sample_rate=FS, n_bands=12)
+        clf.register("speech", _speech(seed=1))
+        clf.register("background", _background(seed=1))
+        return clf
+
+    def test_classifies_unseen_takes(self, trained):
+        assert trained.classify(_speech(seed=9)) == "speech"
+        assert trained.classify(_background(seed=9)) == "background"
+
+    def test_quiet_buffer(self, trained):
+        assert trained.classify(np.zeros(800)) == "quiet"
+
+    def test_unknown_profile_returns_none(self):
+        clf = ProfileClassifier(sample_rate=FS, max_distance=0.1)
+        clf.register("background", _background(seed=1))
+        # A pure high tone is nothing like the broadband background.
+        t = np.arange(4000) / FS
+        tone = 0.2 * np.sin(2 * np.pi * 3500.0 * t)
+        assert clf.classify(tone) is None
+
+    def test_no_profiles_returns_none(self):
+        clf = ProfileClassifier(sample_rate=FS)
+        assert clf.classify(_speech()) is None
+
+    def test_labels(self, trained):
+        assert set(trained.labels) == {"speech", "background"}
+
+    def test_register_signature_directly(self):
+        clf = ProfileClassifier(sample_rate=FS, n_bands=4)
+        clf.register_signature("flat", np.full(4, 0.25))
+        assert "flat" in clf.labels
+
+    def test_short_lookahead_buffer_classification(self, trained):
+        # The switcher classifies short windows: the ~7 ms of physical
+        # lookahead plus a short recent-past slice (≈120 samples total).
+        # Majority accuracy on those windows is what matters; single
+        # windows can land on syllable gaps.
+        speech = _speech(seconds=2.0, seed=3)
+        wins = [speech[i: i + 120] for i in range(2000, 12000, 500)]
+        labels = [trained.classify(w) for w in wins]
+        speech_votes = sum(1 for lbl in labels if lbl == "speech")
+        wrong_votes = sum(1 for lbl in labels if lbl == "background")
+        assert speech_votes > wrong_votes
+
+
+class TestFilterCache:
+    def test_store_load_roundtrip(self):
+        cache = FilterCache()
+        cache.store("a", np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(cache.load("a"), [1.0, 2.0])
+
+    def test_load_returns_copy(self):
+        cache = FilterCache()
+        cache.store("a", np.array([1.0]))
+        out = cache.load("a")
+        out[0] = 99.0
+        assert cache.load("a")[0] == 1.0
+
+    def test_store_copies_input(self):
+        cache = FilterCache()
+        taps = np.array([1.0])
+        cache.store("a", taps)
+        taps[0] = 99.0
+        assert cache.load("a")[0] == 1.0
+
+    def test_missing_label(self):
+        assert FilterCache().load("nope") is None
+
+    def test_contains_and_len(self):
+        cache = FilterCache()
+        cache.store("a", np.zeros(2))
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.labels() == ["a"]
+
+
+class TestPredictiveProfileSwitcher:
+    def _make(self, min_dwell_blocks=1):
+        # max_distance matches the Figure 17 experiment: speech takes
+        # vary (random vowels), so the acceptance radius is generous.
+        clf = ProfileClassifier(sample_rate=FS, n_bands=12,
+                                max_distance=1.2)
+        clf.register("speech", _speech(seed=1))
+        clf.register("background", _background(seed=1))
+        lanc = LancFilter(n_future=4, n_past=16,
+                          secondary_path=np.array([1.0]))
+        return PredictiveProfileSwitcher(clf, lanc,
+                                         min_dwell_blocks=min_dwell_blocks), \
+            lanc
+
+    def test_first_observation_sets_label(self):
+        switcher, __ = self._make()
+        label = switcher.observe(_speech(seed=5), 0)
+        assert label == "speech"
+        assert len(switcher.events) == 1
+        assert switcher.events[0].cache_hit is False
+
+    def test_switch_saves_and_restores(self):
+        switcher, lanc = self._make()
+        switcher.observe(_speech(seed=5), 0)
+        lanc.taps[:] = 1.0                      # "converged" speech taps
+        switcher.observe(_background(seed=5), 100)
+        assert switcher.current_label == "background"
+        # Speech taps were cached at the switch.
+        np.testing.assert_array_equal(switcher.cache.load("speech"),
+                                      np.ones(20))
+        lanc.taps[:] = -1.0                     # background taps
+        switcher.observe(_speech(seed=8), 200)
+        # Cache hit: the speech taps come back.
+        np.testing.assert_array_equal(lanc.taps, np.ones(20))
+        assert switcher.events[-1].cache_hit is True
+
+    def test_same_label_no_event(self):
+        switcher, __ = self._make()
+        switcher.observe(_speech(seed=5), 0)
+        switcher.observe(_speech(seed=6), 100)
+        assert len(switcher.events) == 1
+
+    def test_unknown_keeps_current(self):
+        switcher, __ = self._make()
+        switcher.observe(_speech(seed=5), 0)
+        # A pure near-Nyquist tone matches no registered profile.
+        t = np.arange(4000) / FS
+        alien = 0.2 * np.sin(2 * np.pi * 3900.0 * t)
+        label = switcher.observe(alien, 100)
+        assert label == "speech"
+        assert len(switcher.events) == 1
+
+    def test_dwell_debounces(self):
+        switcher, __ = self._make(min_dwell_blocks=3)
+        switcher.observe(_speech(seed=5), 0)
+        # A single contrary observation is ignored while dwell is young.
+        switcher.observe(_background(seed=5), 100)
+        assert switcher.current_label == "speech"
+
+    def test_requires_classifier_type(self):
+        lanc = LancFilter(n_future=1, n_past=2,
+                          secondary_path=np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            PredictiveProfileSwitcher("nope", lanc)
+
+
+class TestLevelFeature:
+    def test_level_separates_identical_shapes(self):
+        """Same spectral shape at different levels: only the level cue
+        can tell them apart."""
+        rng = np.random.default_rng(0)
+        loud = 0.5 * rng.standard_normal(8000)
+        quiet = 0.01 * rng.standard_normal(8000)
+        clf = ProfileClassifier(sample_rate=FS, n_bands=8,
+                                max_distance=2.0, level_weight=1.0,
+                                energy_floor=1e-6)
+        clf.register("loud", loud)
+        clf.register("quiet", quiet)
+        probe_loud = 0.5 * rng.standard_normal(2000)
+        probe_quiet = 0.01 * rng.standard_normal(2000)
+        assert clf.classify(probe_loud) == "loud"
+        assert clf.classify(probe_quiet) == "quiet"
+
+    def test_zero_weight_restores_shape_only(self):
+        rng = np.random.default_rng(1)
+        loud = 0.5 * rng.standard_normal(8000)
+        quiet = 0.01 * rng.standard_normal(8000)
+        clf = ProfileClassifier(sample_rate=FS, n_bands=8,
+                                max_distance=2.0, level_weight=0.0,
+                                energy_floor=1e-6)
+        clf.register("loud", loud)
+        clf.register("quiet", quiet)
+        # With the level cue off, the two white profiles are ambiguous:
+        # whatever wins, it must win for BOTH probes (shape is the same).
+        a = clf.classify(0.5 * rng.standard_normal(2000))
+        b = clf.classify(0.01 * rng.standard_normal(2000))
+        assert a == b
+
+    def test_signature_only_profiles_ignore_level(self):
+        clf = ProfileClassifier(sample_rate=FS, n_bands=4,
+                                max_distance=2.0, level_weight=1.0)
+        clf.register_signature("flat", np.full(4, 0.25))   # no level_db
+        rng = np.random.default_rng(2)
+        assert clf.classify(0.3 * rng.standard_normal(2000)) == "flat"
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigurationError):
+            ProfileClassifier(sample_rate=FS, level_weight=-0.1)

@@ -1,0 +1,96 @@
+"""Free-field propagation: delays, spreading, fractional delay."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import propagation as prop
+from repro.acoustics.constants import SPEED_OF_SOUND
+from repro.errors import ConfigurationError
+
+
+class TestDelays:
+    def test_delay_seconds(self):
+        assert prop.delay_seconds(SPEED_OF_SOUND) == pytest.approx(1.0)
+
+    def test_delay_samples(self):
+        assert prop.delay_samples(3.4, 8000.0) == pytest.approx(80.0)
+
+    def test_zero_distance(self):
+        assert prop.delay_seconds(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            prop.delay_seconds(-1.0)
+
+
+class TestSpreading:
+    def test_inverse_distance(self):
+        assert prop.spreading_gain(2.0) == pytest.approx(0.5)
+
+    def test_clamped_near_source(self):
+        assert prop.spreading_gain(0.0) == prop.spreading_gain(0.25)
+
+    def test_reference_scaling(self):
+        assert prop.spreading_gain(4.0, reference_m=2.0) == pytest.approx(0.5)
+
+
+class TestFractionalDelayFilter:
+    @pytest.mark.parametrize("delay", [0.0, 0.5, 1.3, 4.75])
+    def test_unit_dc_gain(self, delay):
+        taps = prop.fractional_delay_filter(delay)
+        assert taps.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_integer_delay_is_near_delta(self):
+        taps = prop.fractional_delay_filter(3.0)
+        assert np.argmax(np.abs(taps)) == 3
+        assert taps[3] == pytest.approx(1.0, abs=1e-3)
+
+    @pytest.mark.parametrize("delay,tol", [(12.25, 0.05), (7.3, 0.05),
+                                           (2.6, 0.2), (0.5, 0.2)])
+    def test_measured_group_delay(self, delay, tol):
+        # Group delay from the phase slope across the usable band.
+        # Large delays are exact; sub-center delays carry a small causal
+        # truncation bias, bounded here.
+        from scipy import signal as sps
+        taps = prop.fractional_delay_filter(delay)
+        w, h = sps.freqz(taps, worN=512)
+        band = (w > 0.05 * np.pi) & (w < 0.6 * np.pi)
+        phase = np.unwrap(np.angle(h))
+        slope = np.polyfit(w[band], phase[band], 1)[0]
+        assert -slope == pytest.approx(delay, abs=tol)
+
+    def test_rejects_tiny_filters(self):
+        with pytest.raises(ConfigurationError):
+            prop.fractional_delay_filter(1.0, n_taps=2)
+
+
+class TestApplyDelay:
+    def test_integer_shift(self):
+        x = np.arange(10, dtype=float)
+        y = prop.apply_delay(x, 3)
+        np.testing.assert_array_equal(y[3:], x[:7])
+        np.testing.assert_array_equal(y[:3], 0.0)
+
+    def test_zero_delay_copy(self):
+        x = np.arange(5, dtype=float)
+        y = prop.apply_delay(x, 0)
+        np.testing.assert_array_equal(x, y)
+        assert y is not x
+
+    def test_delay_beyond_length(self):
+        np.testing.assert_array_equal(prop.apply_delay(np.ones(4), 10),
+                                      np.zeros(4))
+
+    def test_fractional_preserves_length(self):
+        x = np.random.default_rng(0).standard_normal(256)
+        assert prop.apply_delay(x, 1.5).size == 256
+
+    def test_fractional_between_integer_neighbors(self):
+        # A 1.5-sample delay of an impulse at 10 peaks equally at 11/12.
+        x = np.zeros(64)
+        x[10] = 1.0
+        y = prop.apply_delay(x, 1.5)
+        mags = np.abs(y)
+        top_two = set(np.argsort(mags)[-2:])
+        assert top_two == {11, 12}
+        assert mags[11] == pytest.approx(mags[12], rel=0.05)

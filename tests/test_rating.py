@@ -1,0 +1,65 @@
+"""The listener rating model (Figure 15's substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.rating import RatingModel, a_weighted_level_db
+from repro.signals import BandlimitedNoise, WhiteNoise
+
+
+class TestAWeightedLevel:
+    def test_quieter_is_lower(self):
+        loud = WhiteNoise(seed=0, level_rms=0.5).generate(1.0)
+        quiet = 0.1 * loud
+        assert (a_weighted_level_db(quiet, 8000.0)
+                < a_weighted_level_db(loud, 8000.0) - 15.0)
+
+    def test_low_rumble_discounted(self):
+        rumble = BandlimitedNoise(20.0, 120.0, seed=1, level_rms=0.3) \
+            .generate(2.0)
+        presence = BandlimitedNoise(1000.0, 3000.0, seed=1, level_rms=0.3) \
+            .generate(2.0)
+        assert (a_weighted_level_db(rumble, 8000.0)
+                < a_weighted_level_db(presence, 8000.0) - 10.0)
+
+
+class TestRatingModel:
+    def _residuals(self):
+        loud = WhiteNoise(seed=0, level_rms=0.5).generate(1.0)
+        return {"bad": loud, "good": 0.05 * loud}
+
+    def test_quieter_scores_higher_for_every_subject(self):
+        residuals = self._residuals()
+        level = a_weighted_level_db(residuals["bad"], 8000.0)
+        model = RatingModel(n_subjects=5, anchor_db=level - 10.0, seed=3)
+        scores = model.compare(residuals, 8000.0)
+        for good, bad in zip(scores["good"], scores["bad"]):
+            assert good.score > bad.score
+
+    def test_scores_clipped_to_scale(self):
+        model = RatingModel(n_subjects=3, anchor_db=0.0, seed=1)
+        silent = np.full(8000, 1e-9)
+        for rating in model.rate(silent, 8000.0):
+            assert 1.0 <= rating.score <= 5.0
+
+    def test_half_star_granularity(self):
+        model = RatingModel(n_subjects=5, seed=2)
+        x = WhiteNoise(seed=4, level_rms=0.1).generate(1.0)
+        for rating in model.rate(x, 8000.0):
+            assert (rating.score * 2) == int(rating.score * 2)
+
+    def test_deterministic_per_seed(self):
+        x = WhiteNoise(seed=5, level_rms=0.2).generate(1.0)
+        a = RatingModel(seed=7).rate(x, 8000.0, condition="c")
+        b = RatingModel(seed=7).rate(x, 8000.0, condition="c")
+        assert [r.score for r in a] == [r.score for r in b]
+
+    def test_subject_ids_one_based(self):
+        x = WhiteNoise(seed=5, level_rms=0.2).generate(1.0)
+        ratings = RatingModel(n_subjects=3, seed=0).rate(x, 8000.0)
+        assert [r.subject_id for r in ratings] == [1, 2, 3]
+
+    def test_compare_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RatingModel().compare({}, 8000.0)

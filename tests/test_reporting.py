@@ -1,0 +1,75 @@
+"""ASCII reporting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.metrics import CancellationCurve
+from repro.eval.reporting import (
+    format_curves,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "b"], [(1, 2), (3, 4)])
+        assert "a" in out and "b" in out
+        assert "3" in out and "4" in out
+
+    def test_title_first_line(self):
+        out = format_table(["x"], [("1",)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [("1",), ("22",), ("333",)])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert line in "▃▄▅"
+
+
+class TestFormatSeries:
+    def test_bands_rendered(self):
+        freqs = np.linspace(0, 4000, 64)
+        out = format_series("test", freqs, np.full(64, -10.0), step_hz=1000)
+        assert "0-1000 Hz" in out
+        assert "-10.0" in out
+
+
+class TestFormatCurves:
+    def test_multi_curve_table(self):
+        freqs = np.linspace(0, 4000, 64)
+        curves = [
+            CancellationCurve("one", freqs, np.full(64, -5.0)),
+            CancellationCurve("two", freqs, np.full(64, -15.0)),
+        ]
+        out = format_curves(curves, title="Fig")
+        assert "one" in out and "two" in out
+        assert "mean" in out
+        assert "-15.0" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_curves([])

@@ -1,0 +1,80 @@
+"""Scenario geometry → channels."""
+
+import dataclasses
+
+import pytest
+
+from repro.acoustics import Point, Room
+from repro.core import Scenario, office_scenario
+from repro.errors import ConfigurationError
+
+
+class TestScenarioValidation:
+    def test_requires_relay(self):
+        with pytest.raises(ConfigurationError, match="relay"):
+            Scenario(room=Room(5, 4, 3), source=Point(1, 1, 1),
+                     client=Point(4, 3, 1), relays=())
+
+    def test_rejects_outside_source(self):
+        with pytest.raises(ConfigurationError, match="source"):
+            Scenario(room=Room(5, 4, 3), source=Point(9, 1, 1),
+                     client=Point(4, 3, 1), relays=(Point(1, 1, 1),))
+
+    def test_rejects_outside_relay(self):
+        with pytest.raises(ConfigurationError, match="relay"):
+            Scenario(room=Room(5, 4, 3), source=Point(1, 1, 1),
+                     client=Point(4, 3, 1), relays=(Point(0, -1, 1),))
+
+    def test_speaker_position_offset(self, fast_scenario):
+        sp = fast_scenario.speaker_position
+        assert sp.x == pytest.approx(fast_scenario.client.x + 0.02)
+
+
+class TestGeometryHelpers:
+    def test_distances(self, fast_scenario):
+        assert fast_scenario.source_to_client_m() == pytest.approx(
+            fast_scenario.source.distance_to(fast_scenario.client))
+        assert fast_scenario.source_to_relay_m(0) > 0
+
+    def test_nominal_lead_positive(self, fast_scenario):
+        assert fast_scenario.nominal_lead_s() > 0
+
+    def test_with_source_moves_only_source(self, fast_scenario):
+        moved = fast_scenario.with_source(Point(2.0, 2.0, 1.0))
+        assert moved.source == Point(2.0, 2.0, 1.0)
+        assert moved.client == fast_scenario.client
+
+
+class TestBuildChannels:
+    def test_channel_names_and_counts(self, fast_channels):
+        assert fast_channels.h_ne.name == "h_ne"
+        assert len(fast_channels.h_nr) == 1
+        assert fast_channels.h_se.name == "h_se"
+
+    def test_lead_matches_geometry(self, fast_scenario, fast_channels):
+        expected = fast_scenario.nominal_lead_s() \
+            * fast_scenario.sample_rate
+        lead = fast_channels.acoustic_lead_samples[0]
+        assert abs(lead - expected) <= 1.0
+
+    def test_lead_seconds(self, fast_channels, fast_scenario):
+        assert fast_channels.lead_seconds(0) == pytest.approx(
+            fast_scenario.nominal_lead_s(), abs=1.5e-4)
+
+    def test_multi_relay_leads(self, two_relay_scenario):
+        channels = two_relay_scenario.build_channels()
+        assert len(channels.acoustic_lead_samples) == 2
+        near, far = channels.acoustic_lead_samples
+        assert near > 0 > far
+
+
+class TestOfficeScenario:
+    def test_constructs(self):
+        scen = office_scenario()
+        assert scen.nominal_lead_s() > 5e-3   # relay on the door: >5 ms
+
+    def test_relay_not_on_door(self):
+        # On the desk instead of the door: far less lead than on-door.
+        desk = office_scenario(relay_on_door=False)
+        door = office_scenario(relay_on_door=True)
+        assert desk.nominal_lead_s() < 0.5 * door.nominal_lead_s()

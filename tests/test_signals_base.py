@@ -1,0 +1,80 @@
+"""SignalSource base behavior: determinism, scaling, durations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import Silence, WhiteNoise, duration_to_samples, normalize_rms
+
+
+class TestDurationToSamples:
+    def test_basic(self):
+        assert duration_to_samples(1.0, 8000.0) == 8000
+
+    def test_rounds(self):
+        assert duration_to_samples(0.1, 8000.0) == 800
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            duration_to_samples(0.0, 8000.0)
+
+
+class TestNormalizeRms:
+    def test_scales_to_target(self):
+        x = np.random.default_rng(0).standard_normal(1000)
+        y = normalize_rms(x, 0.25)
+        assert np.sqrt(np.mean(y ** 2)) == pytest.approx(0.25)
+
+    def test_silence_passthrough(self):
+        np.testing.assert_array_equal(normalize_rms(np.zeros(10), 1.0),
+                                      np.zeros(10))
+
+
+class TestSignalSourceContract:
+    def test_deterministic_per_seed(self):
+        a = WhiteNoise(seed=5).generate(0.5)
+        b = WhiteNoise(seed=5).generate(0.5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = WhiteNoise(seed=5).generate(0.5)
+        b = WhiteNoise(seed=6).generate(0.5)
+        assert not np.array_equal(a, b)
+
+    def test_repeated_generate_identical(self):
+        src = WhiteNoise(seed=5)
+        np.testing.assert_array_equal(src.generate(0.25), src.generate(0.25))
+
+    def test_level_rms_honored(self):
+        src = WhiteNoise(seed=1, level_rms=0.37)
+        assert src.measured_rms() == pytest.approx(0.37)
+
+    def test_sample_count(self):
+        assert WhiteNoise(seed=0).generate(1.5).size == 12000
+
+    def test_generate_samples(self):
+        assert WhiteNoise(seed=0).generate_samples(123).size == 123
+
+    def test_generate_samples_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            WhiteNoise(seed=0).generate_samples(0)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            WhiteNoise(sample_rate=-8000.0)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ConfigurationError):
+            WhiteNoise(level_rms=0.0)
+
+    def test_repr_mentions_class(self):
+        assert "WhiteNoise" in repr(WhiteNoise(seed=2))
+
+
+class TestSilence:
+    def test_all_zero(self):
+        np.testing.assert_array_equal(Silence().generate(0.1), np.zeros(800))
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ConfigurationError):
+            Silence().generate_samples(0)

@@ -1,0 +1,67 @@
+"""Noise sources: spectral shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import BandlimitedNoise, PinkNoise, WhiteNoise
+from repro.utils.spectral import welch_psd
+
+
+def _band_power_db(signal, fs, lo, hi):
+    freqs, psd = welch_psd(signal, fs, nperseg=1024)
+    mask = (freqs >= lo) & (freqs < hi)
+    return 10.0 * np.log10(np.mean(psd[mask]) + 1e-20)
+
+
+class TestWhiteNoise:
+    def test_flat_spectrum(self):
+        x = WhiteNoise(seed=0).generate(4.0)
+        low = _band_power_db(x, 8000, 100, 1000)
+        high = _band_power_db(x, 8000, 2500, 3800)
+        assert abs(low - high) < 1.5
+
+    def test_zero_mean(self):
+        x = WhiteNoise(seed=1).generate(4.0)
+        assert abs(np.mean(x)) < 0.02
+
+
+class TestPinkNoise:
+    def test_roughly_3db_per_octave(self):
+        x = PinkNoise(seed=0).generate(8.0)
+        p250 = _band_power_db(x, 8000, 177, 354)     # octave around 250
+        p1000 = _band_power_db(x, 8000, 707, 1414)   # octave around 1000
+        p2000 = _band_power_db(x, 8000, 1414, 2828)
+        # Pink PSD falls ~3 dB per octave.
+        assert p250 - p1000 == pytest.approx(6.0, abs=2.5)
+        assert p1000 - p2000 == pytest.approx(3.0, abs=2.0)
+
+
+class TestBandlimitedNoise:
+    def test_confined_to_band(self):
+        x = BandlimitedNoise(500.0, 1500.0, seed=0).generate(4.0)
+        inside = _band_power_db(x, 8000, 600, 1400)
+        outside = _band_power_db(x, 8000, 2500, 3500)
+        assert inside - outside > 25.0
+
+    def test_lowpass_edge_case(self):
+        x = BandlimitedNoise(0.0, 1000.0, seed=1).generate(2.0)
+        assert (_band_power_db(x, 8000, 50, 900)
+                - _band_power_db(x, 8000, 2000, 3000)) > 20.0
+
+    def test_highpass_edge_case(self):
+        x = BandlimitedNoise(2000.0, 4000.0, seed=1).generate(2.0)
+        assert (_band_power_db(x, 8000, 2500, 3800)
+                - _band_power_db(x, 8000, 100, 1000)) > 20.0
+
+    def test_full_band_no_filter(self):
+        src = BandlimitedNoise(0.0, 4000.0, seed=2)
+        assert src._sos is None
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ConfigurationError):
+            BandlimitedNoise(2000.0, 1000.0)
+
+    def test_rejects_beyond_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            BandlimitedNoise(100.0, 5000.0, sample_rate=8000.0)

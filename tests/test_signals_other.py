@@ -1,0 +1,126 @@
+"""Music, construction noise, and mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.signals import (
+    ConstructionNoise,
+    IntermittentSource,
+    SyntheticMusic,
+    Tone,
+    WhiteNoise,
+    mix,
+    segments_from_mask,
+)
+from repro.utils.spectral import welch_psd
+
+
+class TestSyntheticMusic:
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            SyntheticMusic(seed=9).generate(1.0),
+            SyntheticMusic(seed=9).generate(1.0))
+
+    def test_tonal_structure(self):
+        x = SyntheticMusic(seed=4).generate(6.0)
+        freqs, psd = welch_psd(x, 8000.0, nperseg=2048)
+        # Tonal content: peak PSD well above median.
+        assert np.max(psd) > 50 * np.median(psd[(freqs > 100)])
+
+    def test_rejects_bad_tempo(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticMusic(tempo_bpm=0.0)
+
+    def test_rejects_empty_scale(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticMusic(scale=[])
+
+
+class TestConstructionNoise:
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            ConstructionNoise(seed=2).generate(1.0),
+            ConstructionNoise(seed=2).generate(1.0))
+
+    def test_rumble_dominates_low_band(self):
+        x = ConstructionNoise(seed=1).generate(6.0)
+        freqs, psd = welch_psd(x, 8000.0, nperseg=1024)
+        low = psd[(freqs > 30) & (freqs < 400)].mean()
+        top = psd[(freqs > 3200)].mean()
+        assert low > 5 * top
+
+    def test_impacts_create_crest(self):
+        calm = ConstructionNoise(impact_rate_hz=0.0, seed=3).generate(4.0)
+        hits = ConstructionNoise(impact_rate_hz=4.0, seed=3).generate(4.0)
+
+        def crest(x):
+            return np.max(np.abs(x)) / np.sqrt(np.mean(x ** 2))
+
+        assert crest(hits) > crest(calm)
+
+    def test_rejects_bad_whine(self):
+        with pytest.raises(ConfigurationError):
+            ConstructionNoise(whine_center_hz=4000.0, sample_rate=8000.0)
+
+
+class TestIntermittentSource:
+    def test_mask_alternates(self):
+        src = IntermittentSource(WhiteNoise(seed=0), on_s=0.5, off_s=0.5,
+                                 seed=1)
+        __, mask = src.generate_with_activity(6.0)
+        segments = segments_from_mask(mask)
+        assert len(segments) >= 4
+        states = [active for __, __, active in segments]
+        assert all(a != b for a, b in zip(states, states[1:]))
+
+    def test_quiet_during_off(self):
+        src = IntermittentSource(Tone(500.0), on_s=0.5, off_s=0.5, seed=2)
+        wave, mask = src.generate_with_activity(4.0)
+        # Sample the middles of off-segments (away from ramps).
+        for start, end, active in segments_from_mask(mask):
+            if not active and end - start > 400:
+                mid = slice(start + 150, end - 150)
+                assert np.max(np.abs(wave[mid])) < 0.05
+
+    def test_requires_signal_source(self):
+        with pytest.raises(ConfigurationError):
+            IntermittentSource("not a source")
+
+    def test_activity_mask_deterministic(self):
+        src = IntermittentSource(WhiteNoise(seed=0), seed=5)
+        a = src.activity_mask(8000)
+        b = src.activity_mask(8000)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMix:
+    def test_sums(self):
+        a, b = np.ones(4), np.full(4, 2.0)
+        np.testing.assert_array_equal(mix(a, b), np.full(4, 3.0))
+
+    def test_gains(self):
+        a, b = np.ones(4), np.ones(4)
+        np.testing.assert_array_equal(mix(a, b, gains=[2.0, 3.0]),
+                                      np.full(4, 5.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(SignalError):
+            mix(np.ones(4), np.ones(5))
+
+    def test_empty(self):
+        with pytest.raises(SignalError):
+            mix()
+
+
+class TestSegmentsFromMask:
+    def test_basic(self):
+        mask = np.array([True, True, False, True])
+        assert segments_from_mask(mask) == [
+            (0, 2, True), (2, 3, False), (3, 4, True)]
+
+    def test_empty(self):
+        assert segments_from_mask(np.array([], dtype=bool)) == []
+
+    def test_uniform(self):
+        assert segments_from_mask(np.ones(5, dtype=bool)) == [(0, 5, True)]

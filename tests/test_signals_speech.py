@@ -1,0 +1,69 @@
+"""Synthetic speech: pitch, formants, pauses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import FemaleVoice, MaleVoice, SyntheticSpeech
+from repro.utils.spectral import welch_psd
+
+
+class TestSyntheticSpeech:
+    def test_reproducible(self):
+        a = MaleVoice(seed=3).generate(1.0)
+        b = MaleVoice(seed=3).generate(1.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_has_pauses(self):
+        src = SyntheticSpeech(speech_fraction=0.5, sentence_length_s=0.8,
+                              seed=1)
+        wave, mask = src.generate_with_activity(8.0)
+        duty = mask.mean()
+        assert 0.25 < duty < 0.75
+        # The waveform is actually quiet during pauses.
+        quiet_rms = np.sqrt(np.mean(wave[~mask] ** 2)) if (~mask).any() else 0
+        active_rms = np.sqrt(np.mean(wave[mask] ** 2))
+        assert active_rms > 5 * max(quiet_rms, 1e-12)
+
+    def test_speech_fraction_one_never_pauses(self):
+        src = SyntheticSpeech(speech_fraction=1.0, seed=1)
+        __, mask = src.generate_with_activity(2.0)
+        assert mask.all()
+
+    def test_energy_in_speech_band(self):
+        x = MaleVoice(seed=5, speech_fraction=1.0).generate(4.0)
+        freqs, psd = welch_psd(x, 8000.0, nperseg=1024)
+        speech_band = psd[(freqs > 100) & (freqs < 3000)].sum()
+        top_band = psd[freqs > 3500].sum()
+        assert speech_band > 3 * top_band
+
+    @staticmethod
+    def _autocorr_pitch(x, fs=8000.0):
+        x = x - x.mean()
+        n = min(x.size, 20000)
+        corr = np.correlate(x[:n], x[:n], mode="full")[n - 1:]
+        lo, hi = int(fs / 350), int(fs / 80)
+        lag = lo + int(np.argmax(corr[lo:hi]))
+        return fs / lag
+
+    def test_male_pitch_near_120hz(self):
+        male = MaleVoice(seed=2, speech_fraction=1.0).generate(4.0)
+        assert self._autocorr_pitch(male) == pytest.approx(120.0, abs=15.0)
+
+    def test_female_pitch_higher_than_male(self):
+        male = MaleVoice(seed=2, speech_fraction=1.0).generate(4.0)
+        female = FemaleVoice(seed=2, speech_fraction=1.0).generate(4.0)
+        assert (self._autocorr_pitch(female)
+                > 1.4 * self._autocorr_pitch(male))
+
+    def test_rejects_nonhuman_pitch(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpeech(pitch_hz=1000.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpeech(speech_fraction=0.0)
+
+    def test_level_scaling(self):
+        src = MaleVoice(seed=1, level_rms=0.2)
+        assert src.measured_rms(2.0) == pytest.approx(0.2, rel=1e-6)

@@ -1,0 +1,118 @@
+"""Tonal sources: tones, harmonic stacks, hum, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import HarmonicStack, MachineHum, MultiTone, Tone, ToneSweep
+from repro.utils.spectral import welch_psd
+
+
+def _dominant_freq(signal, fs=8000.0):
+    freqs, psd = welch_psd(signal, fs, nperseg=2048)
+    return freqs[np.argmax(psd)]
+
+
+class TestTone:
+    def test_frequency(self):
+        assert _dominant_freq(Tone(440.0).generate(2.0)) == pytest.approx(
+            440.0, abs=8.0)
+
+    def test_phase_offset(self):
+        a = Tone(100.0, phase=0.0).generate(0.1)
+        b = Tone(100.0, phase=np.pi).generate(0.1)
+        np.testing.assert_allclose(a, -b, atol=1e-9)
+
+    def test_rejects_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            Tone(4000.0, sample_rate=8000.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            Tone(0.0)
+
+
+class TestMultiTone:
+    def test_contains_all_components(self):
+        x = MultiTone([500.0, 1500.0], seed=0).generate(2.0)
+        freqs, psd = welch_psd(x, 8000.0, nperseg=2048)
+        floor = np.median(psd)
+        for f in (500.0, 1500.0):
+            idx = np.argmin(np.abs(freqs - f))
+            assert psd[idx] > 100 * floor
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            MultiTone([])
+
+    def test_rejects_mismatched_amplitudes(self):
+        with pytest.raises(ConfigurationError):
+            MultiTone([100.0], amplitudes=[1.0, 2.0])
+
+
+class TestHarmonicStack:
+    def test_fundamental_strongest(self):
+        x = HarmonicStack(200.0, n_harmonics=5, seed=0).generate(2.0)
+        assert _dominant_freq(x) == pytest.approx(200.0, abs=8.0)
+
+    def test_harmonics_present(self):
+        x = HarmonicStack(250.0, n_harmonics=4, decay=0.8, seed=1) \
+            .generate(2.0)
+        freqs, psd = welch_psd(x, 8000.0, nperseg=2048)
+        floor = np.median(psd)
+        for k in (1, 2, 3):
+            idx = np.argmin(np.abs(freqs - 250.0 * k))
+            assert psd[idx] > 30 * floor
+
+    def test_harmonics_clipped_at_nyquist(self):
+        # 1500 Hz fundamental, 6 harmonics: 4.5+ kHz must be absent.
+        x = HarmonicStack(1500.0, n_harmonics=6, seed=0).generate(1.0)
+        assert np.all(np.isfinite(x))
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicStack(100.0, decay=0.0)
+
+
+class TestMachineHum:
+    def test_defaults_are_120hz(self):
+        x = MachineHum(seed=0).generate(2.0)
+        assert _dominant_freq(x) == pytest.approx(120.0, abs=8.0)
+
+    def test_wobble_modulates_amplitude(self):
+        steady = MachineHum(wobble_depth=0.0, seed=0).generate(3.0)
+        wobbly = MachineHum(wobble_depth=0.3, wobble_rate=1.0, seed=0) \
+            .generate(3.0)
+        window = 800
+
+        def envelope_var(x):
+            env = np.sqrt(np.convolve(x ** 2, np.full(window, 1 / window),
+                                      mode="valid"))
+            return np.var(env)
+
+        assert envelope_var(wobbly) > 3 * envelope_var(steady)
+
+    def test_rejects_bad_wobble(self):
+        with pytest.raises(ConfigurationError):
+            MachineHum(wobble_depth=1.5)
+
+
+class TestToneSweep:
+    def test_energy_spread_across_band(self):
+        x = ToneSweep(100.0, 3800.0, seed=0).generate(4.0)
+        freqs, psd = welch_psd(x, 8000.0, nperseg=1024)
+        mask = (freqs > 200) & (freqs < 3600)
+        # A sweep's long-term PSD is roughly flat over the swept range.
+        band = 10 * np.log10(psd[mask] + 1e-20)
+        assert np.ptp(band) < 12.0
+
+    def test_starts_low_ends_high(self):
+        x = ToneSweep(200.0, 3000.0).generate(2.0)
+        fs = 8000.0
+        head = _dominant_freq(x[: int(0.25 * fs)], fs)
+        tail = _dominant_freq(x[-int(0.25 * fs):], fs)
+        assert head < 700.0 < tail
+
+    def test_rejects_out_of_band(self):
+        with pytest.raises(ConfigurationError):
+            ToneSweep(100.0, 4100.0, sample_rate=8000.0)

@@ -1,0 +1,86 @@
+"""Time-varying channels (head mobility substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import Point, Room, TimeVaryingChannel, moving_client_channel
+from repro.acoustics.rir import RirSettings
+from repro.errors import ChannelError, ConfigurationError
+from repro.signals import WhiteNoise
+
+
+class TestTimeVaryingChannel:
+    def test_single_snapshot_is_lti(self, rng):
+        ir = np.array([0.0, 1.0, 0.3])
+        channel = TimeVaryingChannel([ir])
+        x = rng.standard_normal(100)
+        expected = np.convolve(x, ir)[:100]
+        np.testing.assert_allclose(channel.apply(x), expected, atol=1e-12)
+
+    def test_identical_snapshots_reduce_to_lti(self, rng):
+        ir = np.array([0.5, 0.2, -0.1])
+        channel = TimeVaryingChannel([ir, ir, ir])
+        x = rng.standard_normal(400)
+        expected = np.convolve(x, ir)[:400]
+        np.testing.assert_allclose(channel.apply(x), expected, atol=1e-10)
+
+    def test_crossfade_endpoints(self, rng):
+        a = np.array([1.0])
+        b = np.array([2.0])
+        channel = TimeVaryingChannel([a, b])
+        x = np.ones(1000)
+        out = channel.apply(x)
+        assert out[0] == pytest.approx(1.0, abs=0.01)
+        assert out[-1] == pytest.approx(2.0, abs=0.01)
+        # Monotone blend in between (for a constant input).
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_snapshot_at_interpolates(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        channel = TimeVaryingChannel([a, b])
+        mid = channel.snapshot_at(0.5)
+        np.testing.assert_allclose(mid, [0.5, 0.5])
+        np.testing.assert_allclose(channel.snapshot_at(0.0), a)
+        np.testing.assert_allclose(channel.snapshot_at(1.0), b)
+
+    def test_snapshot_at_bounds(self):
+        channel = TimeVaryingChannel([np.array([1.0])])
+        with pytest.raises(ChannelError):
+            channel.snapshot_at(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeVaryingChannel([])
+
+
+class TestMovingClientChannel:
+    def test_builds_and_applies(self, rng):
+        room = Room(5.0, 4.0, 3.0, absorption=0.5)
+        source = Point(1.0, 1.0, 1.2)
+        path = [Point(3.5, 2.0 + dy, 1.2) for dy in (-0.1, 0.0, 0.1)]
+        channel = moving_client_channel(room, source, path, 8000.0,
+                                        settings=RirSettings(max_order=1))
+        assert channel.n_snapshots == 3
+        x = WhiteNoise(seed=0, level_rms=0.1).generate(0.5)
+        out = channel.apply(x)
+        assert out.size == x.size
+        assert np.all(np.isfinite(out))
+
+    def test_motion_changes_output(self):
+        room = Room(5.0, 4.0, 3.0, absorption=0.5)
+        source = Point(1.0, 1.0, 1.2)
+        static = moving_client_channel(room, source,
+                                       [Point(3.5, 2.0, 1.2)], 8000.0,
+                                       settings=RirSettings(max_order=1))
+        moving = moving_client_channel(
+            room, source,
+            [Point(3.5, 1.8, 1.2), Point(3.5, 2.2, 1.2)], 8000.0,
+            settings=RirSettings(max_order=1))
+        x = WhiteNoise(seed=1, level_rms=0.1).generate(0.5)
+        assert not np.allclose(static.apply(x), moving.apply(x))
+
+    def test_empty_path_rejected(self):
+        room = Room(5.0, 4.0, 3.0)
+        with pytest.raises(ConfigurationError):
+            moving_client_channel(room, Point(1, 1, 1), [], 8000.0)

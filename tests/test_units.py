@@ -1,0 +1,77 @@
+"""Unit conversions: dB, power, SPL calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.utils import units
+
+
+def test_db_power_roundtrip():
+    for db in (-40.0, -3.0, 0.0, 10.0, 23.5):
+        assert units.power_to_db(units.db_to_power(db)) == pytest.approx(db)
+
+
+def test_db_amplitude_roundtrip():
+    for db in (-60.0, -6.0, 0.0, 12.0):
+        assert units.amplitude_to_db(
+            units.db_to_amplitude(db)) == pytest.approx(db)
+
+
+def test_power_to_db_floors_at_epsilon():
+    assert units.power_to_db(0.0) == pytest.approx(
+        10.0 * np.log10(units.EPSILON_POWER))
+
+
+def test_db_conversions_vectorize():
+    db = np.array([-10.0, 0.0, 10.0])
+    assert units.db_to_power(db).shape == (3,)
+    np.testing.assert_allclose(units.db_to_power(db), [0.1, 1.0, 10.0])
+
+
+def test_rms_of_constant():
+    assert units.rms(np.full(100, 2.0)) == pytest.approx(2.0)
+
+
+def test_rms_of_sine():
+    t = np.linspace(0.0, 1.0, 8000, endpoint=False)
+    sine = np.sin(2 * np.pi * 100 * t)
+    assert units.rms(sine) == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-3)
+
+
+def test_rms_empty_raises():
+    with pytest.raises(SignalError):
+        units.rms(np.array([]))
+
+
+def test_signal_power_db_matches_rms():
+    signal = np.array([1.0, -1.0, 1.0, -1.0])
+    assert units.signal_power_db(signal) == pytest.approx(0.0)
+
+
+def test_spl_calibration_roundtrip():
+    amp = units.amplitude_for_spl(67.0)
+    signal = np.full(1000, amp)  # "RMS amp" constant signal
+    assert units.spl_db(signal) == pytest.approx(67.0, abs=1e-6)
+
+
+def test_spl_full_scale():
+    assert units.spl_db(np.ones(100)) == pytest.approx(
+        units.FULL_SCALE_SPL_DB)
+
+
+def test_snr_db_symmetric_scaling():
+    signal = np.ones(100)
+    noise = np.full(100, 0.1)
+    assert units.snr_db(signal, noise) == pytest.approx(20.0)
+
+
+def test_cancellation_db_negative_when_quieter():
+    before = np.ones(256)
+    after = np.full(256, 0.1)
+    assert units.cancellation_db(before, after) == pytest.approx(-20.0)
+
+
+def test_cancellation_db_zero_when_unchanged():
+    x = np.random.default_rng(0).standard_normal(512)
+    assert units.cancellation_db(x, x) == pytest.approx(0.0)
