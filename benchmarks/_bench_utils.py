@@ -1,8 +1,27 @@
-"""Helpers shared by the figure benchmarks."""
+"""Helpers shared by the figure benchmarks.
+
+Besides the pytest-benchmark shim, this module is where benches pick up
+the **shared observability schema**: any bench can snapshot the metrics
+the instrumented pipeline recorded (``repro.obs.metrics/v1``) and emit
+them next to its figure table, so every ``bench_*.py`` speaks the same
+JSON dialect as ``repro obs-report``.  See ``benchmarks/README.md``.
+"""
 
 from __future__ import annotations
+
+from repro import obs
 
 
 def run_once(benchmark, fn, **kwargs):
     """Execute ``fn`` once under the benchmark timer; return its result."""
     return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def metrics_snapshot():
+    """The global obs metrics as a ``repro.obs.metrics/v1`` document.
+
+    Empty (but schema-stamped) unless the bench enabled observability
+    around the code it measured — see ``bench_obs_overhead.py`` for the
+    pattern.
+    """
+    return obs.get_registry().to_dict()

@@ -1,0 +1,121 @@
+"""Observability overhead — the <2 % contract of `repro.obs`.
+
+The obs layer promises that instrumentation is effectively free: hooks
+fire per run / per block (never per sample) and every one is gated
+behind a single flag check, so
+
+* **disabled** (the default): outputs are bit-identical to an
+  un-instrumented library and the runtime cost is a handful of flag
+  checks — indistinguishable from timer noise;
+* **enabled**: one span per stage plus a few registry updates per run,
+  under 2 % of end-to-end wall time.
+
+This bench measures both on the headline office scenario with a
+noise-hardened estimator (paired runs → per-window median ratio → min
+over independent windows; see :func:`measure_overhead`), then asserts
+the contract.  It also prints a metrics snapshot to show the shared
+``repro.obs.metrics/v1`` schema every bench can emit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from _bench_utils import metrics_snapshot, run_once
+
+import repro
+from repro import obs
+
+
+def measure_overhead(duration_s=0.5, repeats=20, windows=3):
+    """Paired disabled/enabled timings of ``MuteSystem.run``.
+
+    Each repeat times the two modes back-to-back and contributes one
+    enabled/disabled *ratio*; a measurement window's estimate is the
+    median ratio over ``repeats`` pairs, and the final estimate is the
+    **minimum over ``windows`` independent windows**.
+
+    Three layers of noise rejection, because host contention on a shared
+    machine is an order of magnitude larger than the overhead being
+    measured (empirically ±2-5 % per window, vs a true overhead well
+    under 1 %):
+
+    * pairing cancels slow drift (thermal, other tenants) common to the
+      two modes;
+    * the per-window median discards individual scheduler hiccups;
+    * the min over windows discards whole windows contaminated by a
+      contention burst — scheduling noise only ever *adds* time, so
+      under one-sided noise the smallest median is the best estimate of
+      the true ratio.
+    """
+    scenario = repro.office_scenario()
+    noise = repro.WhiteNoise(level_rms=0.1, seed=1).generate(duration_s)
+    system = repro.MuteSystem(scenario)
+
+    obs.disable()
+    obs.reset()
+    reference = system.run(noise)     # warm-up + baseline outputs
+
+    window_estimates, disabled_times, enabled_times = [], [], []
+    traced = None
+    for __ in range(windows):
+        ratios = []
+        for ___ in range(repeats):
+            obs.disable()
+            t0 = time.perf_counter()
+            system.run(noise)
+            disabled_s = time.perf_counter() - t0
+            obs.enable()
+            t0 = time.perf_counter()
+            traced = system.run(noise)
+            enabled_s = time.perf_counter() - t0
+            disabled_times.append(disabled_s)
+            enabled_times.append(enabled_s)
+            ratios.append(enabled_s / disabled_s)
+        window_estimates.append(float(np.median(ratios)))
+    obs.disable()
+
+    snapshot = metrics_snapshot()
+    obs.reset()
+    return {
+        "disabled_s": min(disabled_times),
+        "enabled_s": min(enabled_times),
+        "overhead_fraction": min(window_estimates) - 1.0,
+        "window_estimates": [x - 1.0 for x in window_estimates],
+        "bit_identical": bool(
+            np.array_equal(reference.residual, traced.residual)
+            and np.array_equal(reference.antinoise, traced.antinoise)
+        ),
+        "metrics": snapshot,
+    }
+
+
+def test_obs_overhead(benchmark, report):
+    result = run_once(benchmark, measure_overhead)
+
+    overhead_pct = result["overhead_fraction"] * 100.0
+    windows = "  ".join(f"{x * 100:+.2f}%"
+                        for x in result["window_estimates"])
+    lines = [
+        "Observability overhead (min of 3 paired-median windows)",
+        f"  disabled: {result['disabled_s'] * 1e3:8.2f} ms   "
+        "(default — zero instrumentation on the hot path)",
+        f"  enabled:  {result['enabled_s'] * 1e3:8.2f} ms   "
+        f"(overhead {overhead_pct:+.2f}%; windows: {windows})",
+        f"  outputs bit-identical across modes: "
+        f"{result['bit_identical']}",
+        "",
+        "shared metrics schema "
+        f"({result['metrics']['schema']}), first entries:",
+        json.dumps(result["metrics"]["metrics"][:2], indent=2),
+    ]
+    report("\n".join(lines))
+
+    # The contract: enabling costs < 2%, and neither mode perturbs the
+    # simulation (disabled "overhead" is unmeasurable by construction —
+    # it IS the baseline).
+    assert result["bit_identical"]
+    assert result["overhead_fraction"] < 0.02

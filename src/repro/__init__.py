@@ -37,6 +37,9 @@ Package map
 ``repro.eval``
     Metrics, the listener-rating model, and one experiment runner per
     paper figure.
+``repro.obs``
+    Off-by-default observability: span tracing, metrics, and the
+    timing-budget profiler (``docs/OBSERVABILITY.md``).
 """
 
 from .core import (

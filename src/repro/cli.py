@@ -1,22 +1,44 @@
-"""Command-line interface: regenerate any paper figure from the shell.
+"""Command-line interface: regenerate paper figures, trace the pipeline.
 
-::
+Subcommands
+-----------
+``list``
+    Print every available experiment with a one-line description::
 
-    python -m repro list
-    python -m repro run fig12
-    python -m repro run fig17 --duration 20 --seed 3
-    python -m repro run all
+        python -m repro list
 
-Each experiment prints the same rows/series its paper figure plots (via
-the experiment's ``report()``).
+``run``
+    Regenerate one paper figure / extension experiment (or ``all``).
+    Each experiment prints the same rows/series its paper figure plots
+    (via the experiment's ``report()``)::
+
+        python -m repro run fig12
+        python -m repro run fig17 --duration 20 --seed 3
+        python -m repro run all
+
+``obs-report``
+    Run the headline office scenario with observability
+    (:mod:`repro.obs`) enabled and print the span tree, the metrics
+    table, and the timing-budget report — or the bundled
+    ``repro.obs.report/v1`` JSON document (schemas in
+    ``docs/OBSERVABILITY.md``)::
+
+        python -m repro obs-report
+        python -m repro obs-report --duration 5 --block 128
+        python -m repro obs-report --json --out trace.json
+
+The installed console entry point ``repro`` is equivalent to
+``python -m repro``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from . import obs
 from .eval import experiments as exp
 
 #: name -> (runner, description, accepts duration/seed kwargs)
@@ -61,10 +83,29 @@ def build_parser():
                      help="simulated seconds (experiment default if unset)")
     run.add_argument("--seed", type=int, default=None,
                      help="random seed (experiment default if unset)")
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="trace a MuteSystem run; print span tree, metrics, "
+             "timing budget",
+    )
+    obs_report.add_argument("--duration", type=float, default=2.0,
+                            help="simulated seconds (default 2.0)")
+    obs_report.add_argument("--seed", type=int, default=0,
+                            help="noise seed (default 0)")
+    obs_report.add_argument("--block", type=int, default=64,
+                            help="block size for the deadline ledger "
+                                 "(default 64)")
+    obs_report.add_argument("--json", action="store_true",
+                            help="emit the repro.obs.report/v1 JSON "
+                                 "document instead of text")
+    obs_report.add_argument("--out", default=None, metavar="PATH",
+                            help="also write the JSON document to PATH")
     return parser
 
 
 def _run_one(name, duration, seed, out):
+    """Run one named experiment and print its report to ``out``."""
     runner, description, takes_kwargs = EXPERIMENTS[name]
     kwargs = {}
     if takes_kwargs:
@@ -80,8 +121,83 @@ def _run_one(name, duration, seed, out):
     return result
 
 
+def _run_obs_report(args, out):
+    """The ``obs-report`` subcommand: one traced headline-scenario run.
+
+    Builds the paper's office scenario, enables :mod:`repro.obs` for a
+    single ``MuteSystem.run``, then renders the recorded trace, metrics,
+    and per-stage timing budget.  The previous enable/disable state and
+    any previously recorded spans/metrics are cleared so the report
+    covers exactly this run.
+    """
+    # Imported here: the CLI composes the library top-down, and plain
+    # `repro list` should not pay for building a scenario.
+    from .core.scenario import office_scenario
+    from .core.system import MuteSystem
+    from .signals import WhiteNoise
+
+    if args.duration <= 0:
+        print("obs-report: --duration must be > 0", file=out)
+        return 2
+    if args.block <= 0:
+        print("obs-report: --block must be > 0", file=out)
+        return 2
+
+    scenario = office_scenario()
+    noise = WhiteNoise(level_rms=0.1, seed=args.seed).generate(args.duration)
+
+    obs.reset()
+    with obs.enabled_scope():
+        system = MuteSystem(scenario)
+        result = system.run(noise)
+
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    budget_report = obs.timing_budget_report(
+        tracer, system.lookahead_budget, system.sample_rate,
+        n_samples=noise.size, block_size=args.block,
+    )
+
+    document = None
+    if args.json or args.out:
+        document = obs.obs_report_dict(tracer, registry, budget_report)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, indent=2, default=str)
+        except OSError as exc:
+            print(f"obs-report: cannot write {args.out}: {exc}", file=out)
+            return 2
+    if args.json:
+        print(json.dumps(document, indent=2, default=str), file=out)
+        return 0
+
+    print("== obs-report: traced MuteSystem.run on the office scenario ==",
+          file=out)
+    print(system.summary(), file=out)
+    print(f"mean cancellation {result.mean_cancellation_db():.1f} dB over "
+          f"{args.duration:.1f} s\n", file=out)
+    print("--- span tree ---", file=out)
+    print(tracer.render(), file=out)
+    print("\n--- metrics ---", file=out)
+    print(registry.render(), file=out)
+    print("\n--- timing budget ---", file=out)
+    print(budget_report.report(), file=out)
+    if args.out:
+        print(f"\n[JSON report written to {args.out}]", file=out)
+    return 0
+
+
 def main(argv=None, out=None):
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Parameters
+    ----------
+    argv:
+        Argument list (defaults to ``sys.argv[1:]``).
+    out:
+        Output stream (defaults to stdout) — injectable for tests.
+    """
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
 
@@ -90,6 +206,9 @@ def main(argv=None, out=None):
         for name, (__, description, ___) in sorted(EXPERIMENTS.items()):
             print(f"{name.ljust(width)}  {description}", file=out)
         return 0
+
+    if args.command == "obs-report":
+        return _run_obs_report(args, out)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -14,9 +14,12 @@ paper's §6 remark about faster-converging methods for tracking.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy import linalg
 
+from ... import obs
 from ...errors import ConfigurationError
 from ...utils.validation import (
     check_positive,
@@ -24,7 +27,12 @@ from ...utils.validation import (
     check_same_length,
     check_waveform,
 )
-from .base import AdaptationResult, guard_divergence, mse_curve
+from .base import (
+    AdaptationResult,
+    guard_divergence,
+    mse_curve,
+    record_run_metrics,
+)
 
 __all__ = ["ApaFilter"]
 
@@ -92,10 +100,15 @@ class ApaFilter:
         x = check_waveform("x", x)
         d = check_waveform("d", d)
         check_same_length("x", x, "d", d)
+        enabled = obs.enabled()
+        t_start = time.perf_counter() if enabled else None
         predictions = np.empty(x.size)
         errors = np.empty(x.size)
         for t in range(x.size):
             predictions[t], errors[t] = self.step(x[t], d[t])
+        if enabled:
+            record_run_metrics("apafilter", errors, d,
+                               time.perf_counter() - t_start)
         return AdaptationResult(
             error=errors,
             output=predictions,

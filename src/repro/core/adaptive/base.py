@@ -20,6 +20,7 @@ import dataclasses
 
 import numpy as np
 
+from ... import obs
 from ...errors import ConvergenceError
 from ...utils.validation import (
     check_non_negative,
@@ -29,7 +30,8 @@ from ...utils.validation import (
     check_waveform,
 )
 
-__all__ = ["TapVector", "AdaptationResult", "padded_reference", "tap_window"]
+__all__ = ["TapVector", "AdaptationResult", "padded_reference",
+           "tap_window", "record_run_metrics"]
 
 #: Error magnitude beyond which a filter is declared divergent.
 DIVERGENCE_LIMIT = 1e6
@@ -153,3 +155,28 @@ def effective_step(mu, window, normalized, epsilon=1e-8):
         return mu
     power = float(np.dot(window, window))
     return mu / (power + epsilon)
+
+
+def record_run_metrics(engine, errors, desired, wall_s):
+    """Record one batch adaptation run in the obs metrics registry.
+
+    Call **only when** :func:`repro.obs.enabled` — computing the
+    misadjustment costs two reductions the disabled path must not pay.
+
+    Emits, labeled ``engine=<name>``:
+
+    * ``adaptive.samples`` (counter) — samples processed;
+    * ``adaptive.run_s`` (histogram) — wall time of the run;
+    * ``adaptive.misadjustment`` (gauge) — trailing-quarter error power
+      over desired/disturbance power (< 1 once adaptation is winning,
+      → 0 as it converges).
+    """
+    registry = obs.get_registry()
+    registry.counter("adaptive.samples", engine=engine).inc(errors.size)
+    registry.histogram("adaptive.run_s", engine=engine).observe(wall_s)
+    tail = errors[-max(errors.size // 4, 1):]
+    reference_power = float(np.mean(np.square(desired)))
+    if reference_power > 0.0:
+        registry.gauge("adaptive.misadjustment", engine=engine).set(
+            float(np.mean(np.square(tail))) / reference_power
+        )

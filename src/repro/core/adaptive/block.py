@@ -21,9 +21,12 @@ filtered-reference power.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy import signal as sps
 
+from ... import obs
 from ...errors import ConfigurationError
 from ...utils.validation import (
     check_impulse_response,
@@ -33,7 +36,7 @@ from ...utils.validation import (
     check_same_length,
     check_waveform,
 )
-from .base import AdaptationResult, mse_curve
+from .base import AdaptationResult, mse_curve, record_run_metrics
 
 __all__ = ["BlockLancFilter"]
 
@@ -116,7 +119,17 @@ class BlockLancFilter:
         outputs = np.empty(T)
         zi = np.zeros(max(s_true.size - 1, 0))
 
+        enabled = obs.enabled()
+        block_hist = (
+            obs.get_registry().histogram("adaptive.block_update_s",
+                                         engine="blocklancfilter")
+            if enabled else None
+        )
+        run_start = time.perf_counter() if enabled else None
+
         for start in range(0, T, B):
+            if enabled:
+                block_start = time.perf_counter()
             stop = min(start + B, T)
             n = stop - start
             # Reference slice covering taps k ∈ [-N, L) for this block:
@@ -146,7 +159,12 @@ class BlockLancFilter:
             if self.leak:
                 self.taps *= (1.0 - self.leak) ** n
             self.taps -= step * grad
+            if enabled:
+                block_hist.observe(time.perf_counter() - block_start)
 
+        if enabled:
+            record_run_metrics("blocklancfilter", errors, d,
+                               time.perf_counter() - run_start)
         return AdaptationResult(
             error=errors,
             output=outputs,

@@ -25,8 +25,11 @@ baselines use it that way.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ... import obs
 from ...errors import ConfigurationError
 from ...utils.validation import (
     check_impulse_response,
@@ -42,6 +45,7 @@ from .base import (
     guard_divergence,
     mse_curve,
     padded_reference,
+    record_run_metrics,
     tap_window,
 )
 
@@ -162,6 +166,9 @@ class LancFilter:
                     "adapt_mask must match the signal length"
                 )
 
+        enabled = obs.enabled()
+        t_start = time.perf_counter() if enabled else None
+
         T = x.size
         # Filtered reference for the update (estimate of h_se, causal).
         x_filtered = np.convolve(x, self.secondary_path)[:T]
@@ -190,6 +197,9 @@ class LancFilter:
                     taps *= (1.0 - self.leak)
                 taps -= step * e * winf
 
+        if enabled:
+            record_run_metrics(type(self).__name__.lower(), errors, d,
+                               time.perf_counter() - t_start)
         return AdaptationResult(
             error=errors,
             output=outputs,
@@ -281,9 +291,17 @@ class StreamingLanc:
         return self._x[start: start + int(n_samples)].copy()
 
     def process(self, disturbance_block, adapt=True):
-        """Process a block of acoustic time; returns the error block."""
+        """Process a block of acoustic time; returns the error block.
+
+        With observability enabled, each call is one observation in the
+        ``adaptive.block_update_s{engine=streaminglanc}`` histogram —
+        the per-block latency the timing-budget report compares against
+        the real-time deadline.
+        """
         d = check_waveform("disturbance_block", disturbance_block,
                            min_length=1)
+        enabled = obs.enabled()
+        t_start = time.perf_counter() if enabled else None
         f = self.filter
         needed = self._time + d.size + f.n_future
         if self._x.size < needed:
@@ -321,6 +339,13 @@ class StreamingLanc:
                 taps -= step * e * winf
         self._time += d.size
         self.errors.append(errors)
+        if enabled:
+            registry = obs.get_registry()
+            registry.histogram("adaptive.block_update_s",
+                               engine="streaminglanc").observe(
+                time.perf_counter() - t_start)
+            registry.counter("adaptive.samples",
+                             engine="streaminglanc").inc(d.size)
         return errors
 
     def error_signal(self):

@@ -8,8 +8,11 @@ inner loop.  The lookahead-aware variant lives in :mod:`.lanc`.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ... import obs
 from ...utils.validation import (
     check_positive,
     check_positive_int,
@@ -21,6 +24,7 @@ from .base import (
     effective_step,
     guard_divergence,
     mse_curve,
+    record_run_metrics,
 )
 
 __all__ = ["LmsFilter", "identify_system"]
@@ -89,10 +93,15 @@ class LmsFilter:
         x = check_waveform("x", x)
         d = check_waveform("d", d)
         check_same_length("x", x, "d", d)
+        enabled = obs.enabled()
+        t_start = time.perf_counter() if enabled else None
         predictions = np.empty(x.size)
         errors = np.empty(x.size)
         for t in range(x.size):
             predictions[t], errors[t] = self.step(x[t], d[t])
+        if enabled:
+            record_run_metrics("lmsfilter", errors, d,
+                               time.perf_counter() - t_start)
         return AdaptationResult(
             error=errors,
             output=predictions,

@@ -19,9 +19,11 @@ after.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..utils.spectral import band_energy_signature
 from ..utils.validation import check_positive, check_positive_int
@@ -245,11 +247,20 @@ class PredictiveProfileSwitcher:
             # Debounce spurious single-block flips.
             return self.current_label
 
+        enabled = obs.enabled()
+        t_start = time.perf_counter() if enabled else None
         if self.current_label is not None:
             self.cache.store(self.current_label, self.filter.get_taps())
         cached = self.cache.load(label)
         if cached is not None:
             self.filter.set_taps(cached)
+        if enabled:
+            registry = obs.get_registry()
+            registry.histogram("profiles.swap_s").observe(
+                time.perf_counter() - t_start)
+            registry.counter("profiles.switches", to=str(label)).inc()
+            registry.counter("profiles.cache_hits" if cached is not None
+                             else "profiles.cache_misses").inc()
         self.events.append(SwitchEvent(
             sample_index=int(sample_index),
             from_label=str(self.current_label),

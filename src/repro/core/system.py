@@ -20,6 +20,7 @@ import dataclasses
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError, LookaheadError
 from ..hardware.dsp_board import DspBoard, tms320c6713
 from ..hardware.transducers import TransducerResponse, cheap_transducer
@@ -177,7 +178,9 @@ class MuteSystem:
         self.relay_index = relay_index
         self.sample_rate = scenario.sample_rate
         self._secondary_true = self._build_secondary_true()
-        self._secondary_estimate = self._estimate_secondary()
+        with obs.span("mute.estimate_secondary",
+                      probe=self.config.probe_secondary):
+            self._secondary_estimate = self._estimate_secondary()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -235,26 +238,37 @@ class MuteSystem:
         """
         noise = check_waveform("noise", noise, min_length=64)
         cfg = self.config
-        budget = self.lookahead_budget
-        if not budget.meets_deadline:
-            raise LookaheadError(
-                f"usable lookahead {budget.usable_lookahead_s * 1e3:.2f} ms "
-                "is negative — reposition the relay (or let relay "
-                "selection reject it)"
-            )
-        n_future = min(cfg.n_future,
-                       budget.usable_future_taps(self.sample_rate))
+        with obs.span("mute.prepare", samples=noise.size) as sp:
+            budget = self.lookahead_budget
+            if not budget.meets_deadline:
+                raise LookaheadError(
+                    f"usable lookahead {budget.usable_lookahead_s * 1e3:.2f} "
+                    "ms is negative — reposition the relay (or let relay "
+                    "selection reject it)"
+                )
+            n_future = min(cfg.n_future,
+                           budget.usable_future_taps(self.sample_rate))
 
-        d_open = self.channels.h_ne.apply(noise)
-        x_capture = self.channels.h_nr[self.relay_index].apply(noise)
-        forwarded = cfg.relay.forward(x_capture)
+            with obs.span("mute.prepare.propagate"):
+                d_open = self.channels.h_ne.apply(noise)
+                x_capture = self.channels.h_nr[self.relay_index].apply(noise)
+            with obs.span("mute.prepare.relay"):
+                forwarded = cfg.relay.forward(x_capture)
 
-        lead = self.channels.acoustic_lead_samples[self.relay_index]
-        reference = np.zeros_like(forwarded)
-        if lead < forwarded.size:
-            reference[lead:] = forwarded[: forwarded.size - lead]
+            with obs.span("mute.prepare.align"):
+                lead = self.channels.acoustic_lead_samples[self.relay_index]
+                reference = np.zeros_like(forwarded)
+                if lead < forwarded.size:
+                    reference[lead:] = forwarded[: forwarded.size - lead]
 
-        d_ear = cfg.earcup.apply(d_open) if cfg.earcup is not None else d_open
+                d_ear = (cfg.earcup.apply(d_open)
+                         if cfg.earcup is not None else d_open)
+
+            sp.set_attribute("n_future", n_future)
+            if obs.enabled():
+                registry = obs.get_registry()
+                registry.counter("mute.prepares").inc()
+                registry.gauge("mute.n_future").set(n_future)
 
         return PreparedSignals(
             reference=reference,
@@ -279,23 +293,39 @@ class MuteSystem:
         )
 
     def run(self, noise):
-        """Simulate the complete system over a noise waveform."""
-        prepared = self.prepare(noise)
-        lanc = self.make_filter(n_future=prepared.n_future)
-        result = lanc.run(
-            prepared.reference,
-            prepared.disturbance_at_ear,
-            secondary_path_true=prepared.secondary_path_true,
-        )
-        return MuteRunResult(
-            residual=result.error,
-            disturbance_open=prepared.disturbance_open,
-            disturbance_at_ear=prepared.disturbance_at_ear,
-            antinoise=result.output,
-            budget=prepared.budget,
-            n_future_used=prepared.n_future,
-            sample_rate=self.sample_rate,
-        )
+        """Simulate the complete system over a noise waveform.
+
+        When observability is enabled (``repro.obs``), the run is traced
+        as a ``mute.run`` span with ``mute.prepare`` / ``mute.adapt`` /
+        ``mute.collect`` children — the stages the timing-budget report
+        prices.  Instrumentation never touches signals or seeds, so the
+        returned waveforms are bit-identical either way.
+        """
+        with obs.span("mute.run") as sp:
+            prepared = self.prepare(noise)
+            with obs.span("mute.adapt", engine="lanc",
+                          n_future=prepared.n_future,
+                          n_past=self.config.n_past):
+                lanc = self.make_filter(n_future=prepared.n_future)
+                result = lanc.run(
+                    prepared.reference,
+                    prepared.disturbance_at_ear,
+                    secondary_path_true=prepared.secondary_path_true,
+                )
+            with obs.span("mute.collect"):
+                run_result = MuteRunResult(
+                    residual=result.error,
+                    disturbance_open=prepared.disturbance_open,
+                    disturbance_at_ear=prepared.disturbance_at_ear,
+                    antinoise=result.output,
+                    budget=prepared.budget,
+                    n_future_used=prepared.n_future,
+                    sample_rate=self.sample_rate,
+                )
+            sp.set_attribute("samples", prepared.reference.size)
+            if obs.enabled():
+                obs.get_registry().counter("mute.runs").inc()
+        return run_result
 
     # ------------------------------------------------------------------
     # Relay-selection support (Figures 18–19)

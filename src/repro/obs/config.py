@@ -1,0 +1,69 @@
+"""The observability on/off switch — one module-level flag.
+
+Every hook in the hot paths (``MuteSystem`` stages, the adaptive
+engines, the relay, the profile switcher) guards itself with
+:func:`enabled`.  The guard is a single attribute read + truth test, and
+hooks are placed per *run* or per *block*, never per sample, so the
+disabled cost is unmeasurable (see ``benchmarks/bench_obs_overhead.py``)
+and the default-off state leaves every numeric result bit-identical —
+instrumentation never touches signals, seeds, or control flow.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    try:
+        result = system.run(noise)
+    finally:
+        obs.disable()
+    print(obs.get_tracer().render())
+
+or, scoped::
+
+    with obs.enabled_scope():
+        result = system.run(noise)
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+__all__ = ["enabled", "enable", "disable", "enabled_scope"]
+
+#: Global switch.  Default off: the library behaves exactly as if the
+#: obs package did not exist.
+_ENABLED = False
+
+
+def enabled():
+    """Is observability (tracing + metrics) currently on?"""
+    return _ENABLED
+
+
+def enable():
+    """Turn tracing and metrics collection on (global)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable():
+    """Turn tracing and metrics collection off (global, the default)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextlib.contextmanager
+def enabled_scope():
+    """Enable observability for the duration of a ``with`` block.
+
+    Restores the previous state on exit (exception-safe), so scopes
+    nest correctly.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous

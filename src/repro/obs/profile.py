@@ -1,0 +1,212 @@
+"""Profiling harness: price measured stage latencies against lookahead.
+
+The paper's central constraint is a timing budget: a conventional ANC
+headphone must produce each anti-noise sample within ~30 µs, while MUTE
+can spend up to the *usable lookahead* (acoustic lead minus pipeline and
+relay latency — ``LookaheadBudget``, Eqs. 3/4).  This module turns a
+recorded trace of one ``MuteSystem.run`` into that ledger:
+
+1. take the ``mute.run`` root span and its direct children (the
+   prepare / adapt / collect stages);
+2. amortize each stage's wall time over the samples processed to get a
+   per-sample cost, then a per-block cost at a chosen block size;
+3. compare the per-block cost against the **real-time deadline** for
+   that block — the block's own duration (processing may lag playback by
+   at most one block) *plus* the usable lookahead the relay bought —
+   and flag stages that would blow it.
+
+Stages flagged ``OVER`` could not run in real time on this host at that
+block size; the simulation still completes (it is offline), which is
+exactly why the report exists — it localizes *where* the budget goes.
+
+Entry points: :func:`timing_budget_report` builds a
+:class:`TimingBudgetReport` from a tracer + budget;
+:func:`obs_report_dict` bundles trace + metrics + budget into the
+``repro.obs.report/v1`` JSON document that ``repro obs-report`` emits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..errors import ConfigurationError
+from . import metrics as _metrics
+from . import trace as _trace
+
+__all__ = [
+    "StageBudget", "TimingBudgetReport", "timing_budget_report",
+    "obs_report_dict", "REPORT_SCHEMA",
+]
+
+#: Schema identifier of the bundled obs-report document.
+REPORT_SCHEMA = "repro.obs.report/v1"
+
+
+@dataclasses.dataclass
+class StageBudget:
+    """One pipeline stage priced against the real-time deadline.
+
+    Attributes
+    ----------
+    stage:
+        Span name (e.g. ``"mute.adapt"``).
+    wall_s / cpu_s:
+        Measured totals for the stage.
+    per_sample_us:
+        Wall time amortized per audio sample.
+    per_block_ms:
+        Wall time for one block of ``block_size`` samples.
+    deadline_ms:
+        Block duration + usable lookahead — the latest the block's
+        anti-noise may be ready without missing playback.
+    ok:
+        ``per_block_ms <= deadline_ms``.
+    """
+
+    stage: str
+    wall_s: float
+    cpu_s: float
+    per_sample_us: float
+    per_block_ms: float
+    deadline_ms: float
+    ok: bool
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class TimingBudgetReport:
+    """Per-stage latencies mapped onto the paper's lookahead budget."""
+
+    stages: list
+    total_wall_s: float
+    coverage: float       # sum of stage wall / end-to-end wall
+    n_samples: int
+    sample_rate: float
+    block_size: int
+    usable_lookahead_s: float
+
+    def over_budget(self):
+        """Names of stages that would miss the real-time deadline."""
+        return [s.stage for s in self.stages if not s.ok]
+
+    def to_dict(self):
+        return {
+            "stages": [s.to_dict() for s in self.stages],
+            "total_wall_s": self.total_wall_s,
+            "coverage": self.coverage,
+            "n_samples": self.n_samples,
+            "sample_rate": self.sample_rate,
+            "block_size": self.block_size,
+            "usable_lookahead_s": self.usable_lookahead_s,
+            "over_budget": self.over_budget(),
+        }
+
+    def report(self):
+        """Terminal table, one row per stage."""
+        header = (f"{'stage':<16} {'wall ms':>9} {'cpu ms':>9} "
+                  f"{'us/sample':>10} {'ms/block':>9} "
+                  f"{'deadline ms':>12}  verdict")
+        lines = [
+            "Timing budget — measured stage cost vs real-time deadline",
+            f"({self.n_samples} samples at {self.sample_rate:.0f} Hz, "
+            f"block {self.block_size}, usable lookahead "
+            f"{self.usable_lookahead_s * 1e3:.2f} ms, "
+            f"stage coverage {self.coverage * 100.0:.1f}% of "
+            f"{self.total_wall_s * 1e3:.1f} ms end-to-end)",
+            header,
+            "-" * len(header),
+        ]
+        for s in self.stages:
+            lines.append(
+                f"{s.stage:<16} {s.wall_s * 1e3:>9.3f} "
+                f"{s.cpu_s * 1e3:>9.3f} {s.per_sample_us:>10.3f} "
+                f"{s.per_block_ms:>9.4f} {s.deadline_ms:>12.4f}  "
+                f"{'ok' if s.ok else 'OVER'}"
+            )
+        return "\n".join(lines)
+
+
+def timing_budget_report(tracer, budget, sample_rate, n_samples,
+                         block_size=64, root_name="mute.run"):
+    """Build a :class:`TimingBudgetReport` from a recorded trace.
+
+    Parameters
+    ----------
+    tracer:
+        A :class:`repro.obs.trace.Tracer` holding at least one finished
+        ``root_name`` span (record one by running a ``MuteSystem`` with
+        observability enabled).
+    budget:
+        The run's :class:`repro.core.lookahead.LookaheadBudget` (only
+        ``usable_lookahead_s`` is read, so any duck-type works).
+    sample_rate / n_samples:
+        Audio rate and length of the traced run, for amortization.
+    block_size:
+        Samples per processing block when pricing the deadline.
+    root_name:
+        Name of the end-to-end span whose direct children are the
+        stages.
+    """
+    if sample_rate <= 0:
+        raise ConfigurationError(f"sample_rate must be > 0, got {sample_rate}")
+    if n_samples <= 0:
+        raise ConfigurationError(f"n_samples must be > 0, got {n_samples}")
+    if block_size <= 0:
+        raise ConfigurationError(f"block_size must be > 0, got {block_size}")
+    root = tracer.find(root_name)
+    if root is None:
+        raise ConfigurationError(
+            f"no finished {root_name!r} span recorded — run the system "
+            "with observability enabled first"
+        )
+    usable = float(budget.usable_lookahead_s)
+    deadline_s = block_size / sample_rate + max(usable, 0.0)
+    stages = []
+    for child in root.children:
+        if not child.finished:
+            continue
+        per_sample = child.wall_s / n_samples
+        per_block = per_sample * block_size
+        stages.append(StageBudget(
+            stage=child.name,
+            wall_s=child.wall_s,
+            cpu_s=child.cpu_s,
+            per_sample_us=per_sample * 1e6,
+            per_block_ms=per_block * 1e3,
+            deadline_ms=deadline_s * 1e3,
+            ok=per_block <= deadline_s,
+        ))
+    covered = sum(s.wall_s for s in stages)
+    return TimingBudgetReport(
+        stages=stages,
+        total_wall_s=root.wall_s,
+        coverage=covered / root.wall_s if root.wall_s > 0 else 0.0,
+        n_samples=int(n_samples),
+        sample_rate=float(sample_rate),
+        block_size=int(block_size),
+        usable_lookahead_s=usable,
+    )
+
+
+def obs_report_dict(tracer, registry, budget_report):
+    """Bundle trace + metrics + budget into ``repro.obs.report/v1``."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "trace": tracer.to_dict(),
+        "metrics": registry.to_dict(),
+        "budget": budget_report.to_dict(),
+    }
+
+
+def obs_report_json(tracer, registry, budget_report, indent=2):
+    """:func:`obs_report_dict` serialized for files/pipes."""
+    return json.dumps(obs_report_dict(tracer, registry, budget_report),
+                      indent=indent, default=str)
+
+
+# Re-exported for introspection convenience alongside REPORT_SCHEMA.
+TRACE_SCHEMA = _trace.TRACE_SCHEMA
+METRICS_SCHEMA = _metrics.METRICS_SCHEMA

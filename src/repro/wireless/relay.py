@@ -16,9 +16,12 @@ acoustic lookahead).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy import signal as sps
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..utils.units import snr_db as _snr_db
 from ..utils.validation import check_non_negative, check_positive, check_waveform
@@ -59,6 +62,9 @@ class IdealRelay:
     def forward(self, audio):
         """Return the forwarded audio (plus microphone self-noise)."""
         audio = check_waveform("audio", audio)
+        if obs.enabled():
+            obs.get_registry().counter("relay.forwarded_samples",
+                                       relay="ideal").inc(audio.size)
         if self.mic_noise_rms == 0.0:
             return audio.copy()
         rng = np.random.default_rng(self.seed)
@@ -116,7 +122,12 @@ class AnalogRelay:
         self.latency_samples = self._calibrate_latency()
 
     def _chain(self, audio):
-        """Mic front-end → FM → RF channel → demodulator."""
+        """Mic front-end → FM → RF channel → demodulator.
+
+        With observability enabled, demodulator time lands in the
+        ``relay.demod_s{relay=analog}`` histogram — the dominant
+        receive-side cost of the chain.
+        """
         shaped = sps.sosfilt(self._front_sos, audio)
         if self.mic_noise_rms > 0.0:
             rng = np.random.default_rng(self.seed + 1)
@@ -125,6 +136,13 @@ class AnalogRelay:
             )
         baseband = self.modulator.modulate(shaped)
         impaired = self.channel.apply(baseband)
+        if obs.enabled():
+            t_start = time.perf_counter()
+            demodulated = self.demodulator.demodulate(impaired)
+            obs.get_registry().histogram("relay.demod_s",
+                                         relay="analog").observe(
+                time.perf_counter() - t_start)
+            return demodulated
         return self.demodulator.demodulate(impaired)
 
     def _calibrate_latency(self):
@@ -160,13 +178,17 @@ class AnalogRelay:
         distortions intact.
         """
         audio = check_waveform("audio", audio)
-        out = self._chain(audio)
-        aligned = _advance(out, self.latency_samples)
-        if aligned.size < audio.size:
-            aligned = np.concatenate(
-                [aligned, np.zeros(audio.size - aligned.size)]
-            )
-        return aligned[: audio.size]
+        with obs.span("relay.forward", relay="analog", samples=audio.size):
+            out = self._chain(audio)
+            aligned = _advance(out, self.latency_samples)
+            if aligned.size < audio.size:
+                aligned = np.concatenate(
+                    [aligned, np.zeros(audio.size - aligned.size)]
+                )
+            if obs.enabled():
+                obs.get_registry().counter("relay.forwarded_samples",
+                                           relay="analog").inc(audio.size)
+            return aligned[: audio.size]
 
     def audio_snr_db(self, audio):
         """End-to-end *coherent* audio SNR through the relay.
@@ -190,4 +212,8 @@ class AnalogRelay:
         incoherent_power = float(np.sum(pyy * (1.0 - coherence)))
         if incoherent_power <= 0.0:
             return float("inf")
-        return 10.0 * np.log10(coherent_power / incoherent_power)
+        snr = 10.0 * np.log10(coherent_power / incoherent_power)
+        if obs.enabled():
+            obs.get_registry().gauge("relay.audio_snr_db",
+                                     relay="analog").set(snr)
+        return snr
