@@ -9,12 +9,28 @@ JSON dialect as ``repro obs-report``.  See ``benchmarks/README.md``.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro import obs
 
 
 def run_once(benchmark, fn, **kwargs):
     """Execute ``fn`` once under the benchmark timer; return its result."""
     return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_bench_json(name, payload):
+    """Write ``BENCH_<name>.json`` next to the benchmarks; return the path.
+
+    The standing artifact a bench leaves behind (wall times, speedups,
+    metrics snapshots) so runs are comparable across commits without
+    re-reading terminal output.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def metrics_snapshot():

@@ -5,11 +5,53 @@ Every figure bench runs its experiment once under pytest-benchmark
 prints the same rows/series the paper's figure plots.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Runtime benches (``runtime_bench`` marker) measure the
+:mod:`repro.runtime` layer itself — cache speedups, executor wall times
+— and are **opt-in**: pass ``--runtime-bench`` or set
+``REPRO_RUNTIME_BENCH=1``, e.g.::
+
+    pytest benchmarks/bench_runtime_cache.py --runtime-bench -s
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runtime-bench", action="store_true", default=False,
+        help="run the repro.runtime benches (cache/executor timings)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "runtime_bench: repro.runtime timing bench (opt in with "
+        "--runtime-bench or REPRO_RUNTIME_BENCH=1)",
+    )
+
+
+def _runtime_bench_enabled(config):
+    if config.getoption("--runtime-bench"):
+        return True
+    return os.environ.get("REPRO_RUNTIME_BENCH", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def pytest_collection_modifyitems(config, items):
+    if _runtime_bench_enabled(config):
+        return
+    skip = pytest.mark.skip(
+        reason="runtime bench; opt in with --runtime-bench "
+               "or REPRO_RUNTIME_BENCH=1")
+    for item in items:
+        if "runtime_bench" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture()

@@ -3,7 +3,7 @@
 Subcommands
 -----------
 ``list``
-    Print every available experiment with a one-line description::
+    Print every registered experiment with a one-line description::
 
         python -m repro list
 
@@ -16,6 +16,16 @@ Subcommands
         python -m repro run fig17 --duration 20 --seed 3
         python -m repro run all
 
+``run-all``
+    Run several experiments (default: all of them) through the
+    :mod:`repro.runtime` executor, optionally across worker processes,
+    and print one merged report — per-run wall times plus the combined
+    :mod:`repro.obs` metrics of every worker::
+
+        python -m repro run-all --jobs 4
+        python -m repro run-all --jobs 2 timing fig13
+        python -m repro run-all --jobs 4 --out suite.json
+
 ``obs-report``
     Run the headline office scenario with observability
     (:mod:`repro.obs`) enabled and print the span tree, the metrics
@@ -27,8 +37,10 @@ Subcommands
         python -m repro obs-report --duration 5 --block 128
         python -m repro obs-report --json --out trace.json
 
-The installed console entry point ``repro`` is equivalent to
-``python -m repro``.
+The experiment catalog itself lives in the registry
+(:mod:`repro.eval.experiments`) — the CLI is a thin dispatcher over
+``experiments.all_experiments()``.  The installed console entry point
+``repro`` is equivalent to ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -39,35 +51,12 @@ import sys
 import time
 
 from . import obs
-from .eval import experiments as exp
-
-#: name -> (runner, description, accepts duration/seed kwargs)
-EXPERIMENTS = {
-    "fig6": (exp.run_fig6, "profile spectra (speech vs background)", True),
-    "fig12": (exp.run_fig12, "overall cancellation, 4 schemes", True),
-    "fig13": (exp.run_fig13, "speaker+mic frequency response", False),
-    "fig14": (exp.run_fig14, "four real-world sound types", True),
-    "fig15": (exp.run_fig15, "simulated listener ratings", True),
-    "fig16": (exp.run_fig16, "cancellation vs lookahead", True),
-    "fig17": (exp.run_fig17, "predictive profile switching", True),
-    "fig18": (exp.run_fig18, "GCC-PHAT lookahead sign", True),
-    "fig19": (exp.run_fig19, "relay association map", True),
-    "headline": (exp.run_headline, "the paper's headline numbers", True),
-    "timing": (exp.run_timing, "Eq. 3/4 timing analysis", False),
-    "convergence": (exp.run_convergence, "Figures 7-8 timelines", True),
-    "multisource": (exp.run_multisource,
-                    "extension: two simultaneous sources", True),
-    "mobility": (exp.run_mobility, "extension: head mobility", True),
-    "ear": (exp.run_ear_model, "extension: cancellation at the eardrum",
-            True),
-    "edge": (exp.run_edge, "extension: multi-user edge service", True),
-    "wideband": (exp.run_wideband,
-                 "extension: beyond the 4 kHz cap (fast DSP)", True),
-}
+from .eval import experiments
 
 
 def build_parser():
     """The argparse tree (exposed for tests)."""
+    names = experiments.experiment_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MUTE (SIGCOMM 2018) reproduction experiments",
@@ -77,12 +66,31 @@ def build_parser():
     sub.add_parser("list", help="list available experiments")
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment",
-                     choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("experiment", choices=names + ["all"])
     run.add_argument("--duration", type=float, default=None,
                      help="simulated seconds (experiment default if unset)")
     run.add_argument("--seed", type=int, default=None,
                      help="random seed (experiment default if unset)")
+
+    run_all = sub.add_parser(
+        "run-all",
+        help="run many experiments through the parallel runtime",
+    )
+    run_all.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                         help="experiments to run (default: all)")
+    run_all.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1 = serial)")
+    run_all.add_argument("--duration", type=float, default=None,
+                         help="simulated seconds for every run "
+                              "(experiment defaults if unset)")
+    run_all.add_argument("--seed", type=int, default=None,
+                         help="random seed for every run "
+                              "(experiment defaults if unset)")
+    run_all.add_argument("--no-obs", action="store_true",
+                         help="skip per-run obs tracing/metrics")
+    run_all.add_argument("--out", default=None, metavar="PATH",
+                         help="write the repro.runtime.report/v1 JSON "
+                              "suite document to PATH")
 
     obs_report = sub.add_parser(
         "obs-report",
@@ -106,19 +114,59 @@ def build_parser():
 
 def _run_one(name, duration, seed, out):
     """Run one named experiment and print its report to ``out``."""
-    runner, description, takes_kwargs = EXPERIMENTS[name]
-    kwargs = {}
-    if takes_kwargs:
-        if duration is not None:
-            kwargs["duration_s"] = duration
-        if seed is not None:
-            kwargs["seed"] = seed
-    print(f"== {name}: {description} ==", file=out)
+    entry = experiments.get(name)
+    print(f"== {name}: {entry.description} ==", file=out)
     started = time.time()
-    result = runner(**kwargs)
+    result = entry.run(duration_s=duration, seed=seed)
     print(result.report(), file=out)
     print(f"[{name} done in {time.time() - started:.1f}s]\n", file=out)
     return result
+
+
+def _run_suite(args, out):
+    """The ``run-all`` subcommand: fan runs out, print one merged report."""
+    from . import runtime
+
+    if args.jobs < 1:
+        print("run-all: --jobs must be >= 1", file=out)
+        return 2
+    names = args.experiments or experiments.experiment_names()
+    unknown = [n for n in names if n not in experiments.experiment_names()]
+    if unknown:
+        print(f"run-all: unknown experiment(s): {', '.join(unknown)} "
+              f"(see `repro list`)", file=out)
+        return 2
+
+    suite = runtime.run_experiments(
+        names,
+        jobs=args.jobs,
+        params={"duration_s": args.duration, "seed": args.seed},
+        with_obs=not args.no_obs,
+    )
+
+    for outcome in suite.outcomes:
+        if outcome.ok:
+            entry = experiments.get(outcome.name)
+            print(f"== {outcome.name}: {entry.description} ==", file=out)
+            print(outcome.result.report(), file=out)
+            print(f"[{outcome.name} done in {outcome.wall_s:.1f}s]\n",
+                  file=out)
+        else:
+            print(f"== {outcome.name}: FAILED ==", file=out)
+            print(outcome.error, file=out)
+
+    print(suite.report(), file=out)
+
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(suite.to_dict(), fh, indent=2, default=str)
+        except OSError as exc:
+            print(f"run-all: cannot write {args.out}: {exc}", file=out)
+            return 2
+        print(f"\n[JSON suite report written to {args.out}]", file=out)
+
+    return 0 if not suite.failures() else 1
 
 
 def _run_obs_report(args, out):
@@ -202,15 +250,22 @@ def main(argv=None, out=None):
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (__, description, ___) in sorted(EXPERIMENTS.items()):
-            print(f"{name.ljust(width)}  {description}", file=out)
+        catalog = experiments.all_experiments()
+        width = max(len(entry.name) for entry in catalog)
+        for entry in sorted(catalog, key=lambda e: e.name):
+            print(f"{entry.name.ljust(width)}  {entry.description}", file=out)
         return 0
 
     if args.command == "obs-report":
         return _run_obs_report(args, out)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+    if args.command == "run-all":
+        try:
+            return _run_suite(args, out)
+        except BrokenPipeError:
+            return 0
+
+    names = experiments.experiment_names() if args.experiment == "all" \
         else [args.experiment]
     try:
         for name in names:

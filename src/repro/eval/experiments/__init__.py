@@ -1,4 +1,20 @@
-"""Per-figure experiment runners (Figures 5, 7-8, 12-19 + headline)."""
+"""Per-figure experiment runners (Figures 5, 7-8, 12-19 + headline).
+
+Every runner is registered with the :mod:`~repro.eval.experiments.registry`
+so the CLI, the :mod:`repro.runtime` executor, and the benchmarks all
+dispatch through one API::
+
+    from repro.eval import experiments
+
+    exp = experiments.get("fig16")          # Experiment entry
+    exp.defaults                            # inspectable params
+    result = exp.run(duration_s=5.0)        # {name, params, results}
+
+Runner signatures are normalized: ``duration_s`` first (positional OK),
+everything after keyword-only, and ``seed`` / ``scenario`` accepted
+uniformly; each returns an
+:class:`~repro.eval.experiments.registry.ExperimentResult` envelope.
+"""
 
 from .common import (
     AMBIENT_SPL_DB,
@@ -25,9 +41,52 @@ from .fig17_profiling import Fig17Result, run_fig17
 from .fig18_gccphat import Fig18Result, run_fig18
 from .fig19_relay_map import Fig19Result, relay_map_scenario, run_fig19
 from .headline import HeadlineResult, run_headline
+from .registry import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    experiment_names,
+    experiment_result,
+    get,
+    register,
+)
 from .timing import TimingResult, run_timing
 
+#: name -> (runner, one-line description) — the single source of truth
+#: behind ``repro list``, ``repro run``/``run-all``, and the benchmarks.
+_CATALOG = (
+    ("fig6", run_fig6, "profile spectra (speech vs background)"),
+    ("fig12", run_fig12, "overall cancellation, 4 schemes"),
+    ("fig13", run_fig13, "speaker+mic frequency response"),
+    ("fig14", run_fig14, "four real-world sound types"),
+    ("fig15", run_fig15, "simulated listener ratings"),
+    ("fig16", run_fig16, "cancellation vs lookahead"),
+    ("fig17", run_fig17, "predictive profile switching"),
+    ("fig18", run_fig18, "GCC-PHAT lookahead sign"),
+    ("fig19", run_fig19, "relay association map"),
+    ("headline", run_headline, "the paper's headline numbers"),
+    ("timing", run_timing, "Eq. 3/4 timing analysis"),
+    ("convergence", run_convergence, "Figures 7-8 timelines"),
+    ("multisource", run_multisource, "extension: two simultaneous sources"),
+    ("mobility", run_mobility, "extension: head mobility"),
+    ("ear", run_ear_model, "extension: cancellation at the eardrum"),
+    ("edge", run_edge, "extension: multi-user edge service"),
+    ("wideband", run_wideband,
+     "extension: beyond the 4 kHz cap (fast DSP)"),
+)
+
+for _name, _runner, _description in _CATALOG:
+    register(_name, _runner, _description)
+del _name, _runner, _description
+
 __all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "experiment_names",
+    "experiment_result",
+    "get",
+    "register",
     "AMBIENT_SPL_DB",
     "DEFAULT_DURATION_S",
     "DEFAULT_LEVEL_RMS",

@@ -25,6 +25,7 @@ from ..metrics import convergence_envelope
 from ..reporting import format_table, sparkline
 from .common import bench_scenario, build_system
 from .fig17_profiling import _train_classifier, build_two_source_scene
+from .registry import experiment_result
 
 __all__ = ["ConvergenceResult", "run_convergence"]
 
@@ -81,7 +82,7 @@ def _onset_spike(error, mask, sample_rate, window_s=0.15, skip_first=1):
     return float(np.sqrt(np.mean(np.square(stacked))))
 
 
-def run_convergence(duration_s=12.0, seed=41, scenario=None):
+def run_convergence(duration_s=12.0, *, seed=41, scenario=None):
     """Produce the three timelines and their statistics."""
     scenario = scenario or bench_scenario()
     fs = scenario.sample_rate
@@ -127,7 +128,7 @@ def run_convergence(duration_s=12.0, seed=41, scenario=None):
     t_single, env_single = convergence_envelope(res_single.error, fs)
     t_switch, env_switch = convergence_envelope(res_switching, fs)
 
-    return ConvergenceResult(
+    result = ConvergenceResult(
         envelopes={
             "(a) persistent hum": (t_hum, env_hum),
             "(b) speech, single filter": (t_single, env_single),
@@ -139,4 +140,9 @@ def run_convergence(duration_s=12.0, seed=41, scenario=None):
                                            fs),
         steady_hum_rms=steady_hum,
         initial_hum_rms=initial_hum,
+    )
+    return experiment_result(
+        "convergence",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario),
+        result,
     )

@@ -24,6 +24,7 @@ from ...hardware.ear import EarCanalCoupling
 from ..metrics import measure_cancellation
 from ..reporting import format_curves
 from .common import bench_scenario, build_system, white_noise
+from .registry import experiment_result
 
 __all__ = ["EarModelResult", "run_ear_model"]
 
@@ -54,7 +55,7 @@ class EarModelResult:
         )
 
 
-def run_ear_model(duration_s=8.0, seed=7, scenario=None,
+def run_ear_model(duration_s=8.0, *, seed=7, scenario=None,
                   settle_fraction=0.5, mismatch_delay_s=35e-6,
                   mismatch_tilt_db=1.5):
     """Run one bench take; evaluate at mic and (un)calibrated drum."""
@@ -93,9 +94,17 @@ def run_ear_model(duration_s=8.0, seed=7, scenario=None,
             drum_open, drum_calibrated,
             label="at eardrum, calibrated", **kwargs),
     }
-    return EarModelResult(
+    result = EarModelResult(
         curves=curves,
         mic_mean_db=curves["at error mic"].mean_db(),
         drum_mean_db=curves["at eardrum"].mean_db(),
         calibrated_mean_db=curves["at eardrum, calibrated"].mean_db(),
+    )
+    return experiment_result(
+        "ear",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             settle_fraction=settle_fraction,
+             mismatch_delay_s=mismatch_delay_s,
+             mismatch_tilt_db=mismatch_tilt_db),
+        result,
     )

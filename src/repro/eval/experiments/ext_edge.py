@@ -23,6 +23,7 @@ from ...errors import LookaheadError
 from ...hardware.dsp_board import tms320c6713
 from ...signals import MaleVoice
 from ..reporting import format_table
+from .registry import experiment_result
 
 __all__ = ["EdgeResult", "run_edge", "edge_hall_layout"]
 
@@ -105,7 +106,8 @@ class EdgeResult:
                 - self.by_count[counts[0]].mean_cancellation_db())
 
 
-def run_edge(duration_s=6.0, seed=9, capacity=2, client_counts=(2, 4, 6)):
+def run_edge(duration_s=6.0, *, seed=9, scenario=None, capacity=2,
+             client_counts=(2, 4, 6)):
     """Sweep the subscriber count at a fixed server capacity.
 
     The workload is continuous speech (one talker per user's noise
@@ -113,7 +115,11 @@ def run_edge(duration_s=6.0, seed=9, capacity=2, client_counts=(2, 4, 6)):
     *persistently*, not just during initial convergence.  (With
     stationary noise the filters converge once and duty barely shows —
     we verified that during development.)
+
+    The hall layout is generated per subscriber count, so ``scenario``
+    is accepted only for signature uniformity.
     """
+    del scenario  # layout generated per client count
     service = EdgeAncService(capacity=capacity, n_past=256, mu=0.3)
     fs = 8000.0
     by_count = {}
@@ -128,4 +134,9 @@ def run_edge(duration_s=6.0, seed=9, capacity=2, client_counts=(2, 4, 6)):
                 room, source, relay, client, f"user{i + 1}", waveform,
                 fs, seed + 100 + i))
         by_count[n_clients] = service.serve(clients)
-    return EdgeResult(by_count=by_count, capacity=capacity)
+    return experiment_result(
+        "edge",
+        dict(duration_s=duration_s, seed=seed, capacity=capacity,
+             client_counts=tuple(client_counts)),
+        EdgeResult(by_count=by_count, capacity=capacity),
+    )

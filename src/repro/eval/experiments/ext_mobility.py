@@ -31,6 +31,7 @@ from ...signals import WhiteNoise
 from ...utils.units import cancellation_db
 from ..reporting import format_table
 from .common import bench_scenario
+from .registry import experiment_result
 
 __all__ = ["MobilityResult", "run_mobility", "sway_path"]
 
@@ -81,7 +82,7 @@ class MobilityResult:
         )
 
 
-def run_mobility(duration_s=12.0, seed=5, scenario=None, sway_m=0.15,
+def run_mobility(duration_s=12.0, *, seed=5, scenario=None, sway_m=0.15,
                  n_past=384, settle_fraction=0.5):
     """Run the three mobility conditions over one noise take."""
     scenario = scenario or bench_scenario()
@@ -130,4 +131,9 @@ def run_mobility(duration_s=12.0, seed=5, scenario=None, sway_m=0.15,
                           secondary_path_true=s_true)
         total_db[label] = cancellation_db(disturbance[tail],
                                           result.error[tail])
-    return MobilityResult(total_db=total_db, sway_amplitude_m=sway_m)
+    return experiment_result(
+        "mobility",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             sway_m=sway_m, n_past=n_past, settle_fraction=settle_fraction),
+        MobilityResult(total_db=total_db, sway_amplitude_m=sway_m),
+    )

@@ -36,6 +36,7 @@ from ...signals import BandlimitedNoise, MaleVoice
 from ...utils.units import cancellation_db
 from ..metrics import measure_cancellation
 from ..reporting import format_curves, format_table
+from .registry import experiment_result
 
 __all__ = ["MultiSourceResult", "run_multisource", "two_source_layout"]
 
@@ -80,10 +81,20 @@ class MultiSourceResult:
         )
 
 
-def run_multisource(duration_s=8.0, seed=1, n_past=384, mu=0.15,
-                    settle_fraction=0.5):
-    """Run the two-source comparison."""
-    scenario, sources = two_source_layout()
+def run_multisource(duration_s=8.0, *, seed=1, scenario=None, n_past=384,
+                    mu=0.15, settle_fraction=0.5):
+    """Run the two-source comparison.
+
+    ``scenario`` (if given) replaces the canned :func:`two_source_layout`
+    room — it must carry two relays; the two sources then sit next to
+    those relays, mirroring the default layout.
+    """
+    if scenario is None:
+        scenario, sources = two_source_layout()
+    else:
+        layout, sources = two_source_layout(
+            sample_rate=scenario.sample_rate)
+        del layout
     fs = scenario.sample_rate
     waveforms = [
         BandlimitedNoise(100.0, 3000.0, sample_rate=fs, level_rms=0.08,
@@ -122,10 +133,16 @@ def run_multisource(duration_s=8.0, seed=1, n_past=384, mu=0.15,
             scene.disturbance, res_multi.error,
             label="multi reference", **kwargs),
     }
-    return MultiSourceResult(
+    result = MultiSourceResult(
         total_db=total_db,
         curves=curves,
         n_futures=list(scene.n_futures),
         multi_vs_single_db=(total_db["multi reference"]
                             - total_db["single reference"]),
+    )
+    return experiment_result(
+        "multisource",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             n_past=n_past, mu=mu, settle_fraction=settle_fraction),
+        result,
     )

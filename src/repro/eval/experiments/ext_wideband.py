@@ -30,6 +30,7 @@ from ...signals import WhiteNoise
 from ...utils.units import cancellation_db
 from ..metrics import measure_cancellation
 from ..reporting import format_table
+from .registry import experiment_result
 
 __all__ = ["WidebandResult", "run_wideband", "wideband_bench"]
 
@@ -75,10 +76,10 @@ class WidebandResult:
         )
 
 
-def run_wideband(duration_s=8.0, seed=7, n_past=1024, mu=0.15,
-                 settle_fraction=0.5):
+def run_wideband(duration_s=8.0, *, seed=7, scenario=None, n_past=1024,
+                 mu=0.15, settle_fraction=0.5):
     """Run the 16 kHz fast-DSP system over the bench."""
-    scenario = wideband_bench()
+    scenario = scenario or wideband_bench()
     fs = scenario.sample_rate
     channels = scenario.build_channels()
     noise = WhiteNoise(sample_rate=fs, level_rms=0.1, seed=seed) \
@@ -111,10 +112,15 @@ def run_wideband(duration_s=8.0, seed=7, n_past=1024, mu=0.15,
     bands = [(0, 2000), (2000, 4000), (4000, 6000), (6000, 8000)]
     band_means = {band: curve.mean_db(*band) for band in bands}
     tail = slice(int(d.size * settle_fraction), None)
-    return WidebandResult(
-        curve=curve,
-        band_means_db=band_means,
-        broadband_db=cancellation_db(d[tail], result.error[tail]),
-        n_future=n_future,
-        sample_rate=fs,
+    return experiment_result(
+        "wideband",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             n_past=n_past, mu=mu, settle_fraction=settle_fraction),
+        WidebandResult(
+            curve=curve,
+            band_means_db=band_means,
+            broadband_db=cancellation_db(d[tail], result.error[tail]),
+            n_future=n_future,
+            sample_rate=fs,
+        ),
     )

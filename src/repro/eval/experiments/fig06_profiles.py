@@ -23,6 +23,7 @@ from ...signals import segments_from_mask
 from ...utils.spectral import band_energy_signature, welch_psd
 from ..reporting import format_table, sparkline
 from .fig17_profiling import build_two_source_scene
+from .registry import experiment_result
 
 __all__ = ["Fig6Result", "run_fig6"]
 
@@ -64,9 +65,10 @@ class Fig6Result:
         )
 
 
-def run_fig6(duration_s=16.0, seed=31, n_bands=12):
+def run_fig6(duration_s=16.0, *, seed=31, scenario=None, n_bands=12):
     """Compute the two profile spectra from the Figure 17 scene."""
-    scene, __ = build_two_source_scene(duration_s=duration_s, seed=seed)
+    scene, __ = build_two_source_scene(duration_s=duration_s, seed=seed,
+                                       scenario=scenario)
     fs = scene.sample_rate
     x = scene.reference
     mask = scene.speech_mask
@@ -109,10 +111,16 @@ def run_fig6(duration_s=16.0, seed=31, n_bands=12):
         expected = "speech" if is_speech else "background"
         correct += int(majority == expected)
 
-    return Fig6Result(
+    result = Fig6Result(
         freqs=freqs,
         psd_speech=psd_speech,
         psd_background=psd_background,
         signature_distance=distance,
         classifier_accuracy=(correct / total) if total else 0.0,
+    )
+    return experiment_result(
+        "fig6",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             n_bands=n_bands),
+        result,
     )

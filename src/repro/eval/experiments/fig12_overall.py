@@ -16,6 +16,7 @@ import dataclasses
 from ...core.baselines import BoseHeadphone
 from ..metrics import CancellationCurve, measure_cancellation
 from ..reporting import format_curves, format_table
+from .registry import experiment_result
 from .common import (
     DEFAULT_DURATION_S,
     bench_scenario,
@@ -56,7 +57,7 @@ class Fig12Result:
         return table + "\n\n" + headline
 
 
-def run_fig12(duration_s=DEFAULT_DURATION_S, seed=7, scenario=None,
+def run_fig12(duration_s=DEFAULT_DURATION_S, *, seed=7, scenario=None,
               settle_fraction=0.5):
     """Run all four schemes over the same white-noise take."""
     scenario = scenario or bench_scenario()
@@ -91,7 +92,7 @@ def run_fig12(duration_s=DEFAULT_DURATION_S, seed=7, scenario=None,
             d_open, passive_run.residual, label="MUTE+Passive", **kwargs),
     }
 
-    return Fig12Result(
+    result = Fig12Result(
         curves=curves,
         mute_vs_bose_active_sub1k_db=(
             curves["MUTE_Hollow"].mean_db(0, 1000)
@@ -105,4 +106,10 @@ def run_fig12(duration_s=DEFAULT_DURATION_S, seed=7, scenario=None,
             curves["MUTE+Passive"].mean_db()
             - curves["Bose_Overall"].mean_db()
         ),
+    )
+    return experiment_result(
+        "fig12",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             settle_fraction=settle_fraction),
+        result,
     )

@@ -17,6 +17,7 @@ import numpy as np
 from ...hardware.transducers import cheap_transducer
 from ...signals import ToneSweep
 from ..reporting import format_table, sparkline
+from .registry import experiment_result
 
 __all__ = ["Fig13Result", "run_fig13"]
 
@@ -52,8 +53,17 @@ class Fig13Result:
         return table + summary
 
 
-def run_fig13(sample_rate=8000.0, n_points=64, sweep_duration_s=4.0):
-    """Model curve + an actual swept-tone measurement through the FIR."""
+def run_fig13(duration_s=4.0, *, seed=0, scenario=None, n_points=64):
+    """Model curve + an actual swept-tone measurement through the FIR.
+
+    ``duration_s`` is the length of the measurement chirp.  The
+    transducer model is deterministic, so ``seed`` is accepted only for
+    signature uniformity; ``scenario`` (if given) supplies the sample
+    rate, otherwise the paper's 8 kHz is used.
+    """
+    del seed  # deterministic measurement; accepted for uniformity
+    sample_rate = scenario.sample_rate if scenario is not None else 8000.0
+    sweep_duration_s = duration_s
     transducer = cheap_transducer(sample_rate=sample_rate)
     freqs, response = transducer.response_table(n_points=n_points)
 
@@ -75,11 +85,17 @@ def run_fig13(sample_rate=8000.0, n_points=64, sweep_duration_s=4.0):
     measured = np.interp(freqs, inst_freq, gain)
 
     peak_idx = int(np.argmax(response))
-    return Fig13Result(
+    result = Fig13Result(
         freqs=freqs,
         response=response,
         measured_response=measured,
         peak_hz=float(freqs[peak_idx]),
         response_at_50hz=float(np.interp(50.0, freqs, response)),
         response_at_peak=float(response[peak_idx]),
+    )
+    return experiment_result(
+        "fig13",
+        dict(duration_s=duration_s, seed=0, scenario=scenario,
+             n_points=n_points, sample_rate=sample_rate),
+        result,
     )

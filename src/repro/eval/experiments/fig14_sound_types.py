@@ -18,6 +18,7 @@ from .common import (
     build_system,
     standard_sources,
 )
+from .registry import experiment_result
 
 __all__ = ["Fig14Result", "run_fig14"]
 
@@ -46,11 +47,12 @@ class Fig14Result:
         return "\n\n".join(blocks)
 
 
-def run_fig14(duration_s=DEFAULT_DURATION_S, scenario=None,
+def run_fig14(duration_s=DEFAULT_DURATION_S, *, seed=11, scenario=None,
               settle_fraction=0.5, sources=None):
     """One MUTE run and one Bose composition per sound type."""
     scenario = scenario or bench_scenario()
-    sources = sources or standard_sources(sample_rate=scenario.sample_rate)
+    sources = sources or standard_sources(sample_rate=scenario.sample_rate,
+                                          seed=seed)
     bose = BoseHeadphone(sample_rate=scenario.sample_rate)
     # Speech and music are non-stationary; a larger NLMS step tracks the
     # changing spectra (the white-noise default favors a deeper floor).
@@ -70,4 +72,10 @@ def run_fig14(duration_s=DEFAULT_DURATION_S, scenario=None,
             "Bose_Overall": measure_cancellation(
                 d_open, bose_residual, label="Bose_Overall", **kwargs),
         }
-    return Fig14Result(panels=panels)
+    return experiment_result(
+        "fig14",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             settle_fraction=settle_fraction,
+             sources=sorted(sources)),
+        Fig14Result(panels=panels),
+    )

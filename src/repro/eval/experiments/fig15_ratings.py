@@ -17,6 +17,7 @@ from ...core.baselines import BoseHeadphone
 from ...signals import MaleVoice, SyntheticMusic
 from ..rating import RatingModel, a_weighted_level_db
 from ..reporting import format_table
+from .registry import experiment_result
 from .common import DEFAULT_DURATION_S, bench_scenario, build_system
 
 __all__ = ["Fig15Result", "run_fig15"]
@@ -63,7 +64,7 @@ class Fig15Result:
         return table + summary
 
 
-def run_fig15(duration_s=DEFAULT_DURATION_S, scenario=None, seed=21,
+def run_fig15(duration_s=DEFAULT_DURATION_S, *, seed=21, scenario=None,
               n_subjects=5):
     """Rate MUTE+Passive vs Bose_Overall on music and voice."""
     scenario = scenario or bench_scenario()
@@ -96,4 +97,9 @@ def run_fig15(duration_s=DEFAULT_DURATION_S, scenario=None, seed=21,
         key: model.rate(residual, fs, condition=key[1])
         for key, residual in residuals.items()
     }
-    return Fig15Result(scores=scores, n_subjects=n_subjects)
+    return experiment_result(
+        "fig15",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             n_subjects=n_subjects),
+        Fig15Result(scores=scores, n_subjects=n_subjects),
+    )

@@ -21,6 +21,7 @@ from .common import (
     build_system,
     white_noise,
 )
+from .registry import experiment_result
 
 __all__ = ["Fig16Result", "run_fig16", "PAPER_EXTRA_LOOKAHEADS_S"]
 
@@ -66,7 +67,7 @@ def _label(extra_s):
     return f"{extra_s * 1e3:.2f}ms More"
 
 
-def run_fig16(duration_s=DEFAULT_DURATION_S, seed=7, scenario=None,
+def run_fig16(duration_s=DEFAULT_DURATION_S, *, seed=7, scenario=None,
               extras_s=PAPER_EXTRA_LOOKAHEADS_S, settle_fraction=0.5):
     """Sweep injected reference delay; measure each cancellation curve."""
     scenario = scenario or bench_scenario()
@@ -105,5 +106,10 @@ def run_fig16(duration_s=DEFAULT_DURATION_S, seed=7, scenario=None,
             sample_rate=scenario.sample_rate, label=f"optimal {label}",
             settle_fraction=settle_fraction,
         ).mean_db()
-    return Fig16Result(curves=curves, extras_s=tuple(extras_s),
-                       future_taps=future_taps, optimal_db=optimal_db)
+    return experiment_result(
+        "fig16",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             extras_s=tuple(extras_s), settle_fraction=settle_fraction),
+        Fig16Result(curves=curves, extras_s=tuple(extras_s),
+                    future_taps=future_taps, optimal_db=optimal_db),
+    )

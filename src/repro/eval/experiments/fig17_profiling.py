@@ -27,6 +27,7 @@ from ...hardware.dsp_board import tms320c6713
 from ...signals import BandlimitedNoise, IntermittentSource, MaleVoice
 from ..metrics import additional_cancellation_db, measure_cancellation
 from ..reporting import format_curves
+from .registry import experiment_result
 from .common import bench_scenario
 
 __all__ = ["Fig17Result", "run_fig17", "TwoSourceScene", "build_two_source_scene"]
@@ -145,7 +146,7 @@ def _train_classifier(classifier, reference, mask, sample_rate):
     classifier.register("background", reference[quiet_idx[: min_len * 3]])
 
 
-def run_fig17(duration_s=16.0, seed=31, scenario=None, block_s=0.02,
+def run_fig17(duration_s=16.0, *, seed=31, scenario=None, block_s=0.02,
               settle_fraction=0.35, mu=0.1):
     """Run single-filter and switching conditions over one scene."""
     scene, n_past = build_two_source_scene(duration_s=duration_s, seed=seed,
@@ -194,11 +195,17 @@ def run_fig17(duration_s=16.0, seed=31, scenario=None, block_s=0.02,
         label="with switching", **kwargs)
     additional = additional_cancellation_db(curve_switching, curve_single)
 
-    return Fig17Result(
+    result = Fig17Result(
         curve_single=curve_single,
         curve_switching=curve_switching,
         additional=additional,
         mean_additional_db=additional.mean_db(),
         switch_events=list(switcher.events),
         cache_hits=sum(1 for e in switcher.events if e.cache_hit),
+    )
+    return experiment_result(
+        "fig17",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             block_s=block_s, settle_fraction=settle_fraction, mu=mu),
+        result,
     )

@@ -19,6 +19,7 @@ from ...core.system import MuteConfig, MuteSystem
 from ...errors import ConfigurationError
 from ..reporting import format_table, sparkline
 from .common import bench_scenario, white_noise
+from .registry import experiment_result
 
 __all__ = ["Fig18Result", "run_fig18"]
 
@@ -64,7 +65,7 @@ class Fig18Result:
         return "\n".join(lines)
 
 
-def run_fig18(duration_s=2.0, seed=13, scenario=None):
+def run_fig18(duration_s=2.0, *, seed=13, scenario=None):
     """Measure both relays' correlation against the ear signal."""
     base = scenario or bench_scenario()
     if len(base.relays) != 1:
@@ -98,9 +99,14 @@ def run_fig18(duration_s=2.0, seed=13, scenario=None):
                     < source.distance_to(client) else -1)
         for i in labels
     }
-    return Fig18Result(
+    result = Fig18Result(
         lags_s=lags_s,
         correlations=correlations,
         measured=measured,
         expected_sign=expected_sign,
+    )
+    return experiment_result(
+        "fig18",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario),
+        result,
     )

@@ -18,6 +18,7 @@ from ...core.scenario import Scenario
 from ...core.system import MuteConfig, MuteSystem
 from ...signals import WhiteNoise
 from ..reporting import format_table
+from .registry import experiment_result
 
 __all__ = ["Fig19Result", "run_fig19", "relay_map_scenario"]
 
@@ -97,7 +98,7 @@ def _geometric_expectation(scenario, source, min_margin_m=0.0):
     return best
 
 
-def run_fig19(duration_s=1.5, seed=17, positions=None, scenario=None):
+def run_fig19(duration_s=1.5, *, seed=17, scenario=None, positions=None):
     """Sweep source positions; compare selection against geometry."""
     scenario = scenario or relay_map_scenario()
     positions = positions or default_source_positions()
@@ -116,5 +117,10 @@ def run_fig19(duration_s=1.5, seed=17, positions=None, scenario=None):
         decisions[label] = best
         expected[label] = _geometric_expectation(scen, source)
         measurements[label] = measured
-    return Fig19Result(decisions=decisions, expected=expected,
-                       measurements=measurements)
+    return experiment_result(
+        "fig19",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario,
+             positions=None if positions is None else sorted(positions)),
+        Fig19Result(decisions=decisions, expected=expected,
+                    measurements=measurements),
+    )

@@ -17,6 +17,7 @@ import dataclasses
 from ..reporting import format_table
 from .fig12_overall import run_fig12
 from .fig17_profiling import run_fig17
+from .registry import experiment_result
 
 __all__ = ["HeadlineResult", "run_headline"]
 
@@ -66,13 +67,19 @@ class HeadlineResult:
         )
 
 
-def run_headline(duration_s=8.0, seed=7):
+def run_headline(duration_s=8.0, *, seed=7, scenario=None):
     """Regenerate every headline number from fresh runs."""
-    fig12 = run_fig12(duration_s=duration_s, seed=seed)
-    fig17 = run_fig17(duration_s=max(duration_s, 12.0), seed=seed + 24)
-    return HeadlineResult(
+    fig12 = run_fig12(duration_s=duration_s, seed=seed, scenario=scenario)
+    fig17 = run_fig17(duration_s=max(duration_s, 12.0), seed=seed + 24,
+                      scenario=scenario)
+    result = HeadlineResult(
         mute_vs_bose_active_sub1k_db=fig12.mute_vs_bose_active_sub1k_db,
         mute_hollow_vs_bose_overall_db=fig12.mute_hollow_vs_bose_overall_db,
         mute_passive_vs_bose_overall_db=fig12.mute_passive_vs_bose_overall_db,
         profiling_gain_db=fig17.mean_additional_db,
+    )
+    return experiment_result(
+        "headline",
+        dict(duration_s=duration_s, seed=seed, scenario=scenario),
+        result,
     )

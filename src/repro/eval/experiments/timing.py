@@ -16,6 +16,7 @@ from ...acoustics.constants import CONVENTIONAL_ANC_BUDGET_S
 from ...core.lookahead import LookaheadBudget, lookahead_seconds
 from ...hardware.dsp_board import fast_dsp, headphone_dsp, tms320c6713
 from ..reporting import format_table
+from .registry import experiment_result
 
 __all__ = ["TimingResult", "run_timing"]
 
@@ -49,8 +50,16 @@ class TimingResult:
         )
 
 
-def run_timing(sample_rate=8000.0, bench_lead_s=8.5e-3):
-    """Build both tables from the hardware models."""
+def run_timing(duration_s=None, *, seed=0, scenario=None,
+               bench_lead_s=8.5e-3):
+    """Build both tables from the hardware models.
+
+    The analysis is closed-form, so ``duration_s`` and ``seed`` are
+    accepted only for signature uniformity; ``scenario`` (if given)
+    supplies the sample rate for the Eq.-4 future-tap column.
+    """
+    del duration_s, seed  # closed-form; accepted for uniformity
+    sample_rate = scenario.sample_rate if scenario is not None else 8000.0
     headphone = headphone_dsp()
     mute_board = tms320c6713()
     fast = fast_dsp()
@@ -84,9 +93,15 @@ def run_timing(sample_rate=8000.0, bench_lead_s=8.5e-3):
             int(lead * sample_rate),
         ))
 
-    return TimingResult(
+    result = TimingResult(
         device_rows=device_rows,
         distance_rows=distance_rows,
         headphone_overrun_ratio=(headphone.total_latency_s
                                  / CONVENTIONAL_ANC_BUDGET_S),
+    )
+    return experiment_result(
+        "timing",
+        dict(scenario=scenario, sample_rate=sample_rate,
+             bench_lead_s=bench_lead_s),
+        result,
     )

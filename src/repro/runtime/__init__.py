@@ -1,0 +1,81 @@
+"""repro.runtime — cached + parallel simulation runtime.
+
+The layer between the acoustic simulator and the experiment suite that
+makes heavy multi-scenario traffic cheap:
+
+* :mod:`~repro.runtime.cache` — content-addressed channel cache.
+  :meth:`Scenario.build_channels` routes through it transparently, so
+  every :class:`MuteSystem`, experiment, and benchmark re-uses
+  image-source output for identical geometry (in-process LRU, plus an
+  opt-in on-disk store under ``~/.cache/repro``).
+* :mod:`~repro.runtime.executor` — fans independent experiment runs
+  out over a process pool (serial fallback included) and merges each
+  worker's :mod:`repro.obs` spans/metrics into one report; backs the
+  ``repro run-all --jobs N`` CLI.
+* :mod:`~repro.runtime.sweeps` — :func:`sweep` expands parameter grids
+  into parallel runs; :func:`lookahead_sweep` / :func:`relay_map_sweep`
+  re-express Figures 16 and 19 as grids.
+
+Quick tour::
+
+    from repro import runtime
+
+    channels = scenario.build_channels()        # cached transparently
+    suite = runtime.run_experiments(["fig13", "timing"], jobs=2)
+    print(suite.report())                       # merged obs included
+
+    result = runtime.sweep("fig16",
+                           {"extras_s": [(0.0,), (0.38e-3,)]}, jobs=2)
+
+Full guide: ``docs/RUNTIME.md``.
+"""
+
+from __future__ import annotations
+
+from .cache import (
+    CHANNEL_KEY_VERSION,
+    ChannelCache,
+    default_disk_dir,
+    get_channel_cache,
+    scenario_cache_key,
+    set_channel_cache,
+)
+from .executor import JobOutcome, SuiteReport, run_experiments
+from .merge import (
+    merge_metrics_documents,
+    merge_trace_documents,
+    render_metrics_document,
+)
+from .sweeps import (
+    SweepResult,
+    combined_curves,
+    lookahead_sweep,
+    merged_decisions,
+    relay_map_sweep,
+    sweep,
+)
+
+__all__ = [
+    # cache
+    "CHANNEL_KEY_VERSION",
+    "ChannelCache",
+    "default_disk_dir",
+    "get_channel_cache",
+    "scenario_cache_key",
+    "set_channel_cache",
+    # executor
+    "JobOutcome",
+    "SuiteReport",
+    "run_experiments",
+    # merge
+    "merge_metrics_documents",
+    "merge_trace_documents",
+    "render_metrics_document",
+    # sweeps
+    "SweepResult",
+    "combined_curves",
+    "lookahead_sweep",
+    "merged_decisions",
+    "relay_map_sweep",
+    "sweep",
+]

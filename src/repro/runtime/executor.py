@@ -1,0 +1,243 @@
+"""Parallel experiment executor: fan experiment runs out over processes.
+
+The experiment suite is embarrassingly parallel — every registered
+experiment (and every point of a parameter sweep) is an independent
+simulation.  :func:`run_experiments` fans them out over a
+``concurrent.futures`` process pool, with a serial in-process fallback
+whenever a pool is unavailable or ``jobs=1``, and folds each worker's
+:mod:`repro.obs` trace/metrics documents into one merged report
+(:class:`SuiteReport`).
+
+This is what backs ``repro run-all --jobs N`` and
+:func:`repro.runtime.sweep`.  Determinism: a worker runs exactly the
+same registry entry point with exactly the same params and seed as a
+serial call, so parallel results equal serial ones — the property
+``tests/test_runtime.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import time
+from concurrent import futures
+
+from .. import obs
+from ..errors import ConfigurationError
+from .merge import (
+    merge_metrics_documents,
+    merge_trace_documents,
+    render_metrics_document,
+)
+
+__all__ = ["JobOutcome", "SuiteReport", "run_experiments"]
+
+#: Schema identifier of :meth:`SuiteReport.to_dict`.
+SUITE_SCHEMA = "repro.runtime.report/v1"
+
+
+@dataclasses.dataclass
+class JobOutcome:
+    """One experiment run plus the observability it recorded."""
+
+    name: str
+    params: dict
+    result: object        # the runner's ExperimentResult envelope
+    trace: dict           # repro.obs.trace/v1
+    metrics: dict         # repro.obs.metrics/v1
+    wall_s: float
+    error: str = None     # traceback text when the run failed
+
+    @property
+    def ok(self):
+        """Did the run produce a result?"""
+        return self.error is None
+
+
+def _execute_job(name, params, with_obs):
+    """Worker entry point (module-level so process pools can pickle it).
+
+    Runs one registered experiment with a clean observability slate and
+    returns a :class:`JobOutcome`; exceptions are captured as text so a
+    single failing experiment doesn't sink the whole suite.
+    """
+    # Imported here, not at module top: worker processes pay the import
+    # only when they actually run something.
+    from ..eval import experiments
+
+    obs.reset()
+    started = time.perf_counter()
+    error = None
+    result = None
+    try:
+        entry = experiments.get(name)
+        if with_obs:
+            with obs.enabled_scope():
+                result = entry.run(**params)
+        else:
+            result = entry.run(**params)
+    except Exception:  # noqa: BLE001 — reported, not swallowed
+        import traceback
+        error = traceback.format_exc()
+    outcome = JobOutcome(
+        name=name,
+        params=dict(params),
+        result=result,
+        trace=obs.get_tracer().to_dict(),
+        metrics=obs.get_registry().to_dict(),
+        wall_s=time.perf_counter() - started,
+        error=error,
+    )
+    obs.reset()
+    return outcome
+
+
+@dataclasses.dataclass
+class SuiteReport:
+    """Everything one ``run_experiments`` call produced, merged."""
+
+    outcomes: list
+    jobs: int
+    wall_s: float
+    parallel: bool        # did the pool actually run, or the fallback?
+
+    def results(self):
+        """``name -> ExperimentResult`` for the successful runs."""
+        return {o.name: o.result for o in self.outcomes if o.ok}
+
+    def failures(self):
+        """``name -> traceback text`` for the failed runs."""
+        return {o.name: o.error for o in self.outcomes if not o.ok}
+
+    @property
+    def merged_metrics(self):
+        """All workers' metrics as one ``repro.obs.metrics/v1`` doc."""
+        return merge_metrics_documents(o.metrics for o in self.outcomes)
+
+    @property
+    def merged_trace(self):
+        """All workers' spans as one ``repro.obs.trace/v1`` forest."""
+        return merge_trace_documents(
+            (o.name, o.trace) for o in self.outcomes)
+
+    def to_dict(self):
+        """JSON-able ``repro.runtime.report/v1`` suite document.
+
+        Carries each run's envelope metadata and report text (the rich
+        result objects hold numpy arrays and stay in :attr:`outcomes`).
+        """
+        runs = []
+        for o in self.outcomes:
+            runs.append({
+                "name": o.name,
+                "params": (o.result["params"] if o.ok else o.params),
+                "wall_s": o.wall_s,
+                "ok": o.ok,
+                "report": (o.result.report() if o.ok else None),
+                "error": o.error,
+            })
+        return {
+            "schema": SUITE_SCHEMA,
+            "jobs": self.jobs,
+            "parallel": self.parallel,
+            "wall_s": self.wall_s,
+            "runs": runs,
+            "metrics": self.merged_metrics,
+            "trace": self.merged_trace,
+        }
+
+    def report(self):
+        """Terminal summary: per-run wall times plus merged metrics."""
+        lines = [
+            f"== runtime suite: {len(self.outcomes)} experiment(s), "
+            f"jobs={self.jobs}"
+            f"{' (parallel)' if self.parallel else ' (serial)'}, "
+            f"total {self.wall_s:.1f}s =="
+        ]
+        for o in self.outcomes:
+            status = "ok" if o.ok else "FAILED"
+            lines.append(f"  {o.name:<12} {o.wall_s:7.1f}s  {status}")
+        lines.append("")
+        lines.append("--- merged metrics ---")
+        lines.append(render_metrics_document(self.merged_metrics))
+        return "\n".join(lines)
+
+
+def _run_serial(jobs_list, with_obs):
+    return [_execute_job(name, params, with_obs)
+            for name, params in jobs_list]
+
+
+def run_experiments(names, jobs=1, params=None, per_experiment=None,
+                    with_obs=True):
+    """Run several experiments, optionally in parallel processes.
+
+    Parameters
+    ----------
+    names:
+        Iterable of registry names, or ``(name, params)`` pairs for
+        per-run params (duplicates allowed — a sweep runs the same
+        experiment at many parameter points).
+    jobs:
+        Worker process count; ``1`` runs serially in-process.  More
+        workers than experiments is trimmed to the experiment count.
+    params:
+        Base params applied to every run (e.g. ``duration_s``/``seed``
+        from the CLI).  ``None`` values are dropped by the registry.
+    per_experiment:
+        ``name -> params dict`` merged over ``params`` per run.
+    with_obs:
+        Record :mod:`repro.obs` traces/metrics around each run and
+        merge them into the report.
+
+    Returns a :class:`SuiteReport`.  If the process pool cannot be used
+    (pickling limits, a broken pool, a sandboxed platform), the
+    remaining work falls back to the serial path — results are
+    identical either way, only the wall clock differs.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    base = dict(params or {})
+    jobs_list = []
+    for item in names:
+        if isinstance(item, str):
+            name, own = item, {}
+        else:
+            name, own = item
+        merged = dict(base)
+        merged.update((per_experiment or {}).get(name, {}))
+        merged.update(own)
+        jobs_list.append((name, merged))
+
+    # Validate every name up front — a typo should fail fast here, not
+    # half-way through a worker fan-out.
+    from ..eval import experiments
+    for name, __ in jobs_list:
+        experiments.get(name)
+
+    started = time.perf_counter()
+    n_workers = min(jobs, max(len(jobs_list), 1))
+    parallel = n_workers > 1
+    if not parallel:
+        outcomes = _run_serial(jobs_list, with_obs)
+    else:
+        try:
+            with futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
+                outcomes = list(pool.map(
+                    _execute_job,
+                    [name for name, __ in jobs_list],
+                    [p for __, p in jobs_list],
+                    [with_obs] * len(jobs_list),
+                ))
+        except (futures.BrokenExecutor, pickle.PicklingError, OSError,
+                ImportError):
+            # No usable pool on this platform — same work, one process.
+            parallel = False
+            outcomes = _run_serial(jobs_list, with_obs)
+
+    return SuiteReport(
+        outcomes=outcomes,
+        jobs=jobs,
+        wall_s=time.perf_counter() - started,
+        parallel=parallel,
+    )

@@ -1,0 +1,134 @@
+"""Merging per-worker observability documents into one report.
+
+The parallel executor runs each experiment in its own process, so each
+worker records its own ``repro.obs.trace/v1`` and
+``repro.obs.metrics/v1`` documents.  These helpers fold the per-worker
+payloads into single documents the ``repro run-all`` CLI (and the
+runtime suite report) can print:
+
+* :func:`merge_metrics_documents` — counters sum, gauges keep the last
+  write (with summed write counts), histograms merge bucket-by-bucket
+  when the bucket layouts agree;
+* :func:`merge_trace_documents` — each worker's span forest is hung
+  under a synthetic ``experiment:<name>`` root so one tree shows the
+  whole suite;
+* :func:`render_metrics_document` — terminal table for a (merged)
+  metrics document, mirroring ``MetricsRegistry.render``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..obs.metrics import METRICS_SCHEMA
+from ..obs.trace import TRACE_SCHEMA
+
+__all__ = [
+    "merge_metrics_documents",
+    "merge_trace_documents",
+    "render_metrics_document",
+]
+
+
+def _merge_histogram(into, new):
+    into["count"] += new["count"]
+    into["sum"] += new["sum"]
+    for bound in ("min", "max"):
+        values = [v for v in (into[bound], new[bound]) if v is not None]
+        if values:
+            into[bound] = (min(values) if bound == "min" else max(values))
+    into["mean"] = into["sum"] / into["count"] if into["count"] else None
+    # Quantiles cannot be re-estimated without the buckets; merge those
+    # when the layouts agree and recompute nothing else.
+    mine = into.get("buckets") or []
+    theirs = new.get("buckets") or []
+    if ([b["le"] for b in mine] == [b["le"] for b in theirs]):
+        for slot, other in zip(mine, theirs):
+            slot["count"] += other["count"]
+        into["overflow"] = into.get("overflow", 0) + new.get("overflow", 0)
+    for quantile in ("p50", "p90", "p99"):
+        into.pop(quantile, None)
+
+
+def merge_metrics_documents(documents):
+    """Fold several ``repro.obs.metrics/v1`` documents into one.
+
+    Counters sum; gauges keep the value from the *latest* document that
+    wrote one (write counts sum); histograms merge counts/sums/buckets.
+    Input documents are not modified.
+    """
+    merged = {}
+    order = []
+    for document in documents:
+        if not document:
+            continue
+        for metric in document.get("metrics", ()):
+            key = (metric["kind"], metric["name"],
+                   tuple(sorted(metric.get("labels", {}).items())))
+            if key not in merged:
+                merged[key] = copy.deepcopy(metric)
+                order.append(key)
+                continue
+            into = merged[key]
+            if metric["kind"] == "counter":
+                into["value"] += metric["value"]
+            elif metric["kind"] == "gauge":
+                if metric.get("writes"):
+                    into["value"] = metric["value"]
+                into["writes"] = (into.get("writes", 0)
+                                  + metric.get("writes", 0))
+            else:
+                _merge_histogram(into, metric)
+    return {
+        "schema": METRICS_SCHEMA,
+        "metrics": [merged[key] for key in
+                    sorted(order, key=lambda k: (k[1], k[2]))],
+    }
+
+
+def merge_trace_documents(named_documents):
+    """One ``repro.obs.trace/v1`` forest from per-experiment documents.
+
+    ``named_documents`` is an iterable of ``(experiment_name, document)``
+    pairs; each document's root spans become children of a synthetic
+    ``experiment:<name>`` span whose wall time sums its children.
+    """
+    roots = []
+    for name, document in named_documents:
+        spans = (document or {}).get("spans", [])
+        roots.append({
+            "name": f"experiment:{name}",
+            "t_start_s": 0.0,
+            "wall_s": sum(s.get("wall_s") or 0.0 for s in spans),
+            "cpu_s": sum(s.get("cpu_s") or 0.0 for s in spans),
+            "attributes": {"merged": True},
+            "children": spans,
+        })
+    return {"schema": TRACE_SCHEMA, "spans": roots}
+
+
+def render_metrics_document(document):
+    """Terminal table for a metrics document (merged or single-worker)."""
+    rows = []
+    for metric in document.get("metrics", ()):
+        labels = ",".join(f"{k}={v}" for k, v in
+                          sorted(metric.get("labels", {}).items()))
+        kind = metric["kind"]
+        if kind == "histogram":
+            if metric["count"]:
+                mean = metric["mean"]
+                detail = (f"n={metric['count']} mean={mean:.3e} "
+                          f"min={metric['min']:.3e} max={metric['max']:.3e}")
+            else:
+                detail = "n=0"
+        elif kind == "gauge":
+            if metric.get("writes"):
+                detail = f"{metric['value']:.6g} (writes={metric['writes']})"
+            else:
+                detail = "unset"
+        else:
+            detail = f"{metric['value']:g}"
+        rows.append(f"{metric['name']:<28} {kind:<9} {labels:<24} {detail}")
+    if not rows:
+        return "(no metrics recorded)"
+    return "\n".join(rows)

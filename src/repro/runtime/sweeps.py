@@ -1,0 +1,172 @@
+"""Parameter sweeps over registered experiments.
+
+:func:`sweep` expands a parameter grid into independent experiment runs
+and executes them through the parallel executor; because every runner
+returns the normalized ``{name, params, results}`` envelope, the sweep
+output is a mergeable list of self-describing records.
+
+Two canned sweeps re-express the paper's grid-shaped figures as
+parallel grids (Corey's delay-performance sweeps and Friot's
+non-causality study both take exactly this shape):
+
+* :func:`lookahead_sweep` — Figure 16, one run per extra-lookahead
+  setting instead of one serial loop;
+* :func:`relay_map_sweep` — Figure 19, one run per noise-source
+  position.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from ..errors import ConfigurationError
+from .executor import run_experiments
+
+__all__ = [
+    "SweepResult",
+    "combined_curves",
+    "lookahead_sweep",
+    "merged_decisions",
+    "relay_map_sweep",
+    "sweep",
+]
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """All runs of one grid sweep, in grid order."""
+
+    experiment: str
+    grid: dict            # param -> list of swept values (as given)
+    runs: list            # ExperimentResult envelopes, grid order
+    suite: object         # the underlying SuiteReport
+
+    def collect(self, fn):
+        """``fn(results_object)`` over every run, in grid order."""
+        return [fn(run["results"]) for run in self.runs]
+
+    def merged(self):
+        """The sweep as one list of ``{name, params, results}`` dicts.
+
+        Every record already carries the params that produced it, so
+        concatenating sweeps (or suites) is just list concatenation.
+        """
+        return list(self.runs)
+
+    def report(self):
+        """Per-point one-liners plus the executor's merged summary."""
+        lines = [f"== sweep: {self.experiment} over "
+                 f"{', '.join(self.grid)} ({len(self.runs)} point(s)) =="]
+        for run in self.runs:
+            swept = {k: run["params"].get(k) for k in self.grid}
+            lines.append(f"  {swept}")
+        return "\n".join(lines) + "\n\n" + self.suite.report()
+
+
+def sweep(experiment, grid, jobs=1, base_params=None, with_obs=True):
+    """Run ``experiment`` at every point of a parameter grid.
+
+    Parameters
+    ----------
+    experiment:
+        Registry name (or an :class:`Experiment`) to run.
+    grid:
+        ``param -> iterable of values``; the sweep covers the cartesian
+        product in ``itertools.product`` order.
+    jobs:
+        Worker processes for the underlying executor.
+    base_params:
+        Params common to every point (seed, duration, scenario...).
+
+    Returns a :class:`SweepResult` whose ``runs`` align with the grid
+    expansion order.
+    """
+    name = getattr(experiment, "name", experiment)
+    if not grid:
+        raise ConfigurationError("sweep needs a non-empty grid")
+    keys = list(grid)
+    values = [list(grid[k]) for k in keys]
+    if any(not v for v in values):
+        raise ConfigurationError("every grid axis needs at least one value")
+    points = [dict(zip(keys, combo))
+              for combo in itertools.product(*values)]
+
+    # One job per grid point; per-point params ride on the job list, so
+    # duplicate names are fine.
+    base = dict(base_params or {})
+    suite = run_experiments(
+        [(name, point) for point in points],
+        jobs=jobs,
+        params=base,
+        with_obs=with_obs,
+    )
+
+    failures = suite.failures()
+    if failures:
+        first = next(iter(failures.values()))
+        raise ConfigurationError(
+            f"sweep of {name!r} failed at {len(failures)} point(s); "
+            f"first failure:\n{first}"
+        )
+    return SweepResult(
+        experiment=name,
+        grid={k: list(v) for k, v in zip(keys, values)},
+        runs=[o.result for o in suite.outcomes],
+        suite=suite,
+    )
+
+
+def lookahead_sweep(extras_s=None, jobs=1, duration_s=None, seed=None,
+                    scenario=None):
+    """Figure 16 as a parallel grid: one run per extra-lookahead setting.
+
+    Each grid point runs :func:`run_fig16` with a single-element
+    ``extras_s``, so the points are independent and the executor can
+    fan them out; ``combined_curves`` of the result reassembles the
+    figure's full curve set.
+    """
+    from ..eval.experiments.fig16_lookahead import PAPER_EXTRA_LOOKAHEADS_S
+
+    extras = tuple(PAPER_EXTRA_LOOKAHEADS_S if extras_s is None else extras_s)
+    base = {k: v for k, v in (("duration_s", duration_s), ("seed", seed),
+                              ("scenario", scenario)) if v is not None}
+    return sweep("fig16", {"extras_s": [(e,) for e in extras]},
+                 jobs=jobs, base_params=base)
+
+
+def combined_curves(sweep_result):
+    """Label → curve across all runs of a fig16 :func:`lookahead_sweep`."""
+    curves = {}
+    for run in sweep_result.runs:
+        curves.update(run["results"].curves)
+    return curves
+
+
+def relay_map_sweep(positions=None, jobs=1, duration_s=None, seed=None,
+                    scenario=None):
+    """Figure 19 as a parallel grid: one run per noise-source position.
+
+    Each grid point runs :func:`run_fig19` with a single source
+    position; ``merged_decisions`` reassembles the full association
+    map.
+    """
+    from ..eval.experiments.fig19_relay_map import default_source_positions
+
+    table = dict(default_source_positions() if positions is None
+                 else positions)
+    base = {k: v for k, v in (("duration_s", duration_s), ("seed", seed),
+                              ("scenario", scenario)) if v is not None}
+    grid = {"positions": [{label: point} for label, point in table.items()]}
+    return sweep("fig19", grid, jobs=jobs, base_params=base)
+
+
+def merged_decisions(sweep_result):
+    """Position label → (selected, expected) across a fig19 sweep."""
+    decisions = {}
+    for run in sweep_result.runs:
+        results = run["results"]
+        for label in results.decisions:
+            decisions[label] = (results.decisions[label],
+                                results.expected[label])
+    return decisions
