@@ -37,9 +37,18 @@ Package map
 ``repro.eval``
     Metrics, the listener-rating model, and one experiment runner per
     paper figure.
+``repro.runtime``
+    Content-addressed result cache and the parallel experiment executor
+    (``docs/RUNTIME.md``).
 ``repro.obs``
     Off-by-default observability: span tracing, metrics, and the
     timing-budget profiler (``docs/OBSERVABILITY.md``).
+``repro.faults``
+    Fault injection (outages, fades, packet loss) and the graceful-
+    degradation controller (``docs/FAULTS.md``).
+``repro.tools``
+    Repo maintenance utilities, e.g. the documentation lint
+    (``python -m repro.tools.check_docs``).
 """
 
 from .core import (
@@ -56,6 +65,7 @@ from .core import (
     PredictiveProfileSwitcher,
     ProfileClassifier,
     RelaySelector,
+    ResilientRunResult,
     Scenario,
     StreamingLanc,
     estimate_secondary_path,
@@ -122,6 +132,7 @@ __all__ = [
     "PredictiveProfileSwitcher",
     "ProfileClassifier",
     "RelaySelector",
+    "ResilientRunResult",
     "Scenario",
     "StreamingLanc",
     "estimate_secondary_path",

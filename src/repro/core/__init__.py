@@ -39,7 +39,13 @@ from .relay_selection import (
 )
 from .scenario import Scenario, ScenarioChannels, office_scenario
 from .secondary_path import SecondaryPathEstimate, estimate_secondary_path
-from .system import MuteConfig, MuteRunResult, MuteSystem, PreparedSignals
+from .system import (
+    MuteConfig,
+    MuteRunResult,
+    MuteSystem,
+    PreparedSignals,
+    ResilientRunResult,
+)
 
 __all__ = [
     "AdaptationResult",
@@ -93,4 +99,5 @@ __all__ = [
     "MuteRunResult",
     "MuteSystem",
     "PreparedSignals",
+    "ResilientRunResult",
 ]

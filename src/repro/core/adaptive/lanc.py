@@ -290,9 +290,25 @@ class StreamingLanc:
         start = self._time
         return self._x[start: start + int(n_samples)].copy()
 
-    def process(self, disturbance_block, adapt=True):
+    def process(self, disturbance_block, adapt=True, active=True):
         """Process a block of acoustic time; returns the error block.
 
+        Parameters
+        ----------
+        disturbance_block : array_like
+            ``d(t)`` samples for the block.
+        adapt : bool
+            If false, taps are frozen for the block (the degradation
+            controller's *feedback* mode).
+        active : bool
+            If false, the anti-noise speaker is not driven this block:
+            the filter output is zero, though anti-noise already in
+            flight still rings through the secondary path (the
+            controller's *passive* mode).  The reference must still
+            have been fed — time advances regardless.
+
+        Notes
+        -----
         With observability enabled, each call is one observation in the
         ``adaptive.block_update_s{engine=streaminglanc}`` histogram —
         the per-block latency the timing-budget report compares against
@@ -311,6 +327,24 @@ class StreamingLanc:
             )
         taps = f.taps
         errors = np.empty(d.size)
+        if not active:
+            # Speaker muted: output is zero, but anti-noise already in
+            # flight keeps ringing through the secondary path.
+            for i in range(d.size):
+                self._y_recent[1:] = self._y_recent[:-1]
+                self._y_recent[0] = 0.0
+                e = d[i] + float(np.dot(self.s_true, self._y_recent))
+                errors[i] = e
+            self._time += d.size
+            self.errors.append(errors)
+            if enabled:
+                registry = obs.get_registry()
+                registry.histogram("adaptive.block_update_s",
+                                   engine="streaminglanc").observe(
+                    time.perf_counter() - t_start)
+                registry.counter("adaptive.samples",
+                                 engine="streaminglanc").inc(d.size)
+            return errors
         for i in range(d.size):
             t = self._time + i
             lo = t - (f.n_past - 1)

@@ -31,7 +31,6 @@ from ...utils.validation import (
 )
 from .base import (
     AdaptationResult,
-    effective_step,
     guard_divergence,
     mse_curve,
     padded_reference,

@@ -32,7 +32,8 @@ from .lookahead import LookaheadBudget
 from .scenario import Scenario
 from .secondary_path import estimate_secondary_path
 
-__all__ = ["MuteConfig", "PreparedSignals", "MuteRunResult", "MuteSystem"]
+__all__ = ["MuteConfig", "PreparedSignals", "MuteRunResult",
+           "ResilientRunResult", "MuteSystem"]
 
 
 @dataclasses.dataclass
@@ -150,6 +151,63 @@ class MuteRunResult:
         return float(np.mean(spec[mask]))
 
 
+@dataclasses.dataclass
+class ResilientRunResult(MuteRunResult):
+    """Outcome of a fault-injected :meth:`MuteSystem.run_resilient` run.
+
+    Extends :class:`MuteRunResult` with the degradation history.  Note
+    ``antinoise`` here is the anti-noise *as heard at the error mic*
+    (``residual − disturbance_at_ear``): the streaming loop does not
+    retain the raw speaker drive.
+
+    Attributes
+    ----------
+    transitions : list of ModeTransition
+        Every mode change the degradation controller performed.
+    modes : list of str
+        The mode each block ran under, in block order.
+    mode_fractions : dict
+        ``{mode: fraction of blocks}`` summary.
+    block_size : int
+        Samples per degradation-control block.
+    plan_key : str or None
+        Content address of the injected :class:`repro.faults.FaultPlan`
+        (``None`` for an unfaulted run).
+    """
+
+    transitions: list = dataclasses.field(default_factory=list)
+    modes: list = dataclasses.field(default_factory=list)
+    mode_fractions: dict = dataclasses.field(default_factory=dict)
+    block_size: int = 256
+    plan_key: str = None
+
+    @property
+    def recovered(self):
+        """True when the run ended back in full MUTE operation."""
+        return not self.modes or self.modes[-1] == "mute"
+
+    def window_cancellation_db(self, start_s, stop_s):
+        """Broadband cancellation (dB, negative = cancelling) over a window.
+
+        Time-domain RMS ratio of residual to open-ear disturbance over
+        ``[start_s, stop_s)`` — the right tool for *localizing* fault
+        impact (e.g. comparing cancellation inside and outside an outage
+        window), where the settled-PSD view of
+        :meth:`cancellation_spectrum` would smear the event.
+        """
+        lo = max(0, int(start_s * self.sample_rate))
+        hi = min(self.residual.size, int(stop_s * self.sample_rate))
+        if hi <= lo:
+            raise ConfigurationError(
+                f"window [{start_s}, {stop_s}] s selects no samples"
+            )
+        rms_after = float(np.sqrt(np.mean(self.residual[lo:hi] ** 2)))
+        rms_before = float(np.sqrt(
+            np.mean(self.disturbance_open[lo:hi] ** 2)))
+        return 20.0 * np.log10(max(rms_after, 1e-12)
+                               / max(rms_before, 1e-12))
+
+
 class MuteSystem:
     """End-to-end MUTE simulation over a :class:`Scenario`.
 
@@ -227,8 +285,19 @@ class MuteSystem:
     # ------------------------------------------------------------------
     # Signal preparation and the main run
     # ------------------------------------------------------------------
-    def prepare(self, noise):
+    def prepare(self, noise, relay=None):
         """Propagate noise through the scene; align the reference.
+
+        Parameters
+        ----------
+        noise : array_like
+            Source noise waveform.
+        relay : object, optional
+            Override for the forwarding relay — used by
+            :meth:`run_resilient` to substitute a fault-injecting
+            wrapper (:class:`repro.faults.FaultyRelay`) without touching
+            the configured relay.  Defaults to ``config.relay``, so
+            existing callers are bit-identical.
 
         Raises
         ------
@@ -238,6 +307,7 @@ class MuteSystem:
         """
         noise = check_waveform("noise", noise, min_length=64)
         cfg = self.config
+        forward_relay = relay if relay is not None else cfg.relay
         with obs.span("mute.prepare", samples=noise.size) as sp:
             budget = self.lookahead_budget
             if not budget.meets_deadline:
@@ -253,7 +323,7 @@ class MuteSystem:
                 d_open = self.channels.h_ne.apply(noise)
                 x_capture = self.channels.h_nr[self.relay_index].apply(noise)
             with obs.span("mute.prepare.relay"):
-                forwarded = cfg.relay.forward(x_capture)
+                forwarded = forward_relay.forward(x_capture)
 
             with obs.span("mute.prepare.align"):
                 lead = self.channels.acoustic_lead_samples[self.relay_index]
@@ -325,6 +395,107 @@ class MuteSystem:
             sp.set_attribute("samples", prepared.reference.size)
             if obs.enabled():
                 obs.get_registry().counter("mute.runs").inc()
+        return run_result
+
+    def run_resilient(self, noise, fault_plan=None, block_size=256,
+                      monitor=None):
+        """Simulate the system under relay-path faults, degrading gracefully.
+
+        The fault-injected counterpart of :meth:`run`: the configured
+        relay is wrapped in a :class:`repro.faults.FaultyRelay` applying
+        ``fault_plan``, and the adaptive filter runs block-by-block
+        behind a :class:`repro.faults.DegradationController` — a
+        reference-health watchdog that walks
+        ``mute → feedback → passive`` as the reference degrades and
+        restores the pre-fault taps on recovery.  See ``docs/FAULTS.md``.
+
+        Parameters
+        ----------
+        noise : array_like
+            Source noise waveform.
+        fault_plan : FaultPlan, optional
+            Timed fault events to inject; ``None`` (or an empty plan)
+            runs faultless — bit-identical signals to the same loop over
+            the unwrapped relay.
+        block_size : int
+            Samples per health-assessment block (the degradation
+            controller's reaction granularity).
+        monitor : ReferenceHealthMonitor, optional
+            Custom watchdog thresholds; sensible defaults otherwise.
+
+        Returns
+        -------
+        ResilientRunResult
+            Residual/baseline waveforms plus the mode history and
+            transitions.
+
+        Notes
+        -----
+        Traced as a ``mute.run_resilient`` span; every mode change emits
+        a ``resilience.transition`` child span and ticks
+        ``resilience.transitions{from,to}``, so a mid-run outage is
+        visible in ``repro obs-report`` output.
+        """
+        # Imported here: repro.faults is an extension layer on top of
+        # core and must stay optional for plain runs.
+        from ..faults.injector import wrap_relay
+        from ..faults.monitor import DegradationController
+        from .adaptive.lanc import StreamingLanc
+
+        if block_size <= 0:
+            raise ConfigurationError("block_size must be > 0")
+        block_size = int(block_size)
+        plan_key = (fault_plan.plan_key()
+                    if fault_plan is not None and not fault_plan.empty
+                    else None)
+        with obs.span("mute.run_resilient", block_size=block_size,
+                      plan=plan_key or "none") as sp:
+            relay = wrap_relay(self.config.relay, fault_plan,
+                               self.sample_rate)
+            prepared = self.prepare(noise, relay=relay)
+            lanc = self.make_filter(n_future=prepared.n_future)
+            stream = StreamingLanc(
+                lanc, secondary_path_true=prepared.secondary_path_true
+            )
+            controller = DegradationController(
+                lanc, monitor=monitor, sample_rate=self.sample_rate
+            )
+            # Feed everything up front, zero-padded so the final block's
+            # anti-causal taps see the same implicit zeros as the batch
+            # path (`padded_reference`).
+            reference = prepared.reference
+            stream.feed(np.concatenate(
+                [reference, np.zeros(prepared.n_future)]
+            ) if prepared.n_future else reference)
+            with obs.span("mute.adapt", engine="resilient-lanc",
+                          n_future=prepared.n_future,
+                          n_past=self.config.n_past):
+                d = prepared.disturbance_at_ear
+                for t0 in range(0, reference.size, block_size):
+                    t1 = min(t0 + block_size, reference.size)
+                    mode = controller.observe(reference[t0:t1], t0)
+                    adapt, active = DegradationController.gates(mode)
+                    stream.process(d[t0:t1], adapt=adapt, active=active)
+            with obs.span("mute.collect"):
+                residual = stream.error_signal()
+                run_result = ResilientRunResult(
+                    residual=residual,
+                    disturbance_open=prepared.disturbance_open,
+                    disturbance_at_ear=prepared.disturbance_at_ear,
+                    antinoise=residual - prepared.disturbance_at_ear,
+                    budget=prepared.budget,
+                    n_future_used=prepared.n_future,
+                    sample_rate=self.sample_rate,
+                    transitions=list(controller.transitions),
+                    modes=list(controller.modes),
+                    mode_fractions=controller.mode_fractions(),
+                    block_size=block_size,
+                    plan_key=plan_key,
+                )
+            sp.set_attribute("samples", reference.size)
+            sp.set_attribute("transitions", len(run_result.transitions))
+            if obs.enabled():
+                obs.get_registry().counter("mute.resilient_runs").inc()
         return run_result
 
     # ------------------------------------------------------------------

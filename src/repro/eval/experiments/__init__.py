@@ -31,6 +31,7 @@ from .ext_ear_model import EarModelResult, run_ear_model
 from .ext_edge import EdgeResult, run_edge
 from .ext_mobility import MobilityResult, run_mobility
 from .ext_multisource import MultiSourceResult, run_multisource
+from .ext_resilience import ResilienceResult, run_resilience
 from .ext_wideband import WidebandResult, run_wideband
 from .fig12_overall import Fig12Result, run_fig12
 from .fig13_response import Fig13Result, run_fig13
@@ -73,6 +74,8 @@ _CATALOG = (
     ("edge", run_edge, "extension: multi-user edge service"),
     ("wideband", run_wideband,
      "extension: beyond the 4 kHz cap (fast DSP)"),
+    ("resilience", run_resilience,
+     "extension: fault injection & graceful degradation"),
 )
 
 for _name, _runner, _description in _CATALOG:
@@ -106,6 +109,8 @@ __all__ = [
     "run_mobility",
     "MultiSourceResult",
     "run_multisource",
+    "ResilienceResult",
+    "run_resilience",
     "WidebandResult",
     "run_wideband",
     "Fig12Result",

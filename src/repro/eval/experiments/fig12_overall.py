@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 
 from ...core.baselines import BoseHeadphone
-from ..metrics import CancellationCurve, measure_cancellation
+from ..metrics import measure_cancellation
 from ..reporting import format_curves, format_table
 from .registry import experiment_result
 from .common import (

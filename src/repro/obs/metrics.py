@@ -40,7 +40,6 @@ import bisect
 import json
 
 from ..errors import ConfigurationError
-from . import config
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",

@@ -1,0 +1,15 @@
+"""repro.tools — repository maintenance utilities.
+
+Not part of the simulation library proper: these are small checkers a
+contributor (or CI) runs against the working tree.  Currently:
+
+* :mod:`repro.tools.check_docs` — documentation lint
+  (``python -m repro.tools.check_docs``): validates intra-repo links in
+  the markdown docs and checks that every registered experiment is
+  mentioned somewhere in them.  Wired into the test suite as the opt-in
+  ``docs_lint`` pytest marker (``pytest --docs-lint``).
+"""
+
+from __future__ import annotations
+
+__all__ = []

@@ -23,7 +23,6 @@ from scipy import signal as sps
 
 from .. import obs
 from ..errors import ConfigurationError
-from ..utils.units import snr_db as _snr_db
 from ..utils.validation import check_non_negative, check_positive, check_waveform
 from .fm import FmDemodulator, FmModulator
 from .rf_channel import RfChannel, RfChannelConfig

@@ -3,11 +3,18 @@
 Heavy objects (room channels, MuteSystem instances) are session-scoped:
 they are deterministic, and rebuilding image-source models per test
 would dominate the suite's runtime.
+
+The documentation lint (``tests/test_docs_lint.py``, marker
+``docs_lint``) is **opt-in** — it checks the working tree's markdown,
+not the library, so it only runs with ``--docs-lint`` or
+``REPRO_DOCS_LINT=1`` (mirroring ``benchmarks/conftest.py``'s
+``runtime_bench`` pattern).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -15,6 +22,38 @@ import pytest
 from repro.acoustics import Point, Room
 from repro.acoustics.rir import RirSettings
 from repro.core import MuteConfig, MuteSystem, Scenario
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--docs-lint", action="store_true", default=False,
+        help="run the documentation lint (repro.tools.check_docs)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "docs_lint: documentation lint (opt in with --docs-lint or "
+        "REPRO_DOCS_LINT=1)",
+    )
+
+
+def _docs_lint_enabled(config):
+    if config.getoption("--docs-lint"):
+        return True
+    return os.environ.get("REPRO_DOCS_LINT", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def pytest_collection_modifyitems(config, items):
+    if _docs_lint_enabled(config):
+        return
+    skip = pytest.mark.skip(
+        reason="docs lint; opt in with --docs-lint or REPRO_DOCS_LINT=1")
+    for item in items:
+        if "docs_lint" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture()

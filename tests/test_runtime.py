@@ -225,7 +225,8 @@ class TestRegistry:
     def test_every_catalog_entry_registered(self):
         names = experiments.experiment_names()
         assert "fig12" in names and "timing" in names and "edge" in names
-        assert len(names) == 17
+        assert "resilience" in names
+        assert len(names) == 18
 
     def test_get_unknown_raises(self):
         with pytest.raises(ConfigurationError):
