@@ -3,15 +3,29 @@
 Unlike the figure benches these are true repeated-timing benchmarks:
 the LANC sample loop (the per-sample cost a real DSP must sustain), the
 image-source RIR builder, GCC-PHAT, and the FM chain.
+
+``test_kernel_backend_sweep`` times every adaptation engine on both
+kernel backends (``loop`` vs ``vector``, see ``docs/KERNELS.md``) and
+writes the speedup table to ``BENCH_kernels.json``; the LANC row must
+clear the 3x contract.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from _bench_utils import write_bench_json
 from repro.acoustics import Point, Room, room_impulse_response
-from repro.core import LancFilter, gcc_phat
+from repro.core import (ApaFilter, LancFilter, LmsFilter,
+                        MultiRefLancFilter, RlsFilter, StreamingLanc,
+                        gcc_phat)
 from repro.signals import WhiteNoise
 from repro.wireless import FmDemodulator, FmModulator
+
+#: The vector backend must beat the loop backend by at least this much
+#: on the LANC sample loop (the contract in docs/KERNELS.md).
+LANC_SPEEDUP_FLOOR = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -19,18 +33,122 @@ def white_second():
     return WhiteNoise(seed=0, level_rms=0.2).generate(1.0)
 
 
-def test_lanc_loop_one_second(benchmark, white_second):
+@pytest.mark.parametrize("backend", ["loop", "vector"])
+def test_lanc_loop_one_second(benchmark, white_second, backend):
     """One second of 8 kHz audio through a 64+512-tap LANC filter."""
     s = np.zeros(8)
     s[2] = 1.0
     d = np.convolve(white_second, np.array([0.0] * 12 + [0.5]))[:8000]
 
     def run():
-        f = LancFilter(n_future=64, n_past=512, secondary_path=s, mu=0.1)
+        f = LancFilter(n_future=64, n_past=512, secondary_path=s, mu=0.1,
+                       kernel_backend=backend)
         return f.run(white_second, d)
 
     result = benchmark(run)
     assert np.all(np.isfinite(result.error))
+
+
+def _sweep_workloads(x, d, s):
+    """(name, make_run) per engine; make_run(backend) -> timed callable.
+
+    Fresh filter per call — taps mutate, so a shared instance would
+    time convergence from different starting points.
+    """
+
+    def lanc(backend):
+        def run():
+            f = LancFilter(n_future=64, n_past=512, secondary_path=s,
+                           mu=0.1, kernel_backend=backend)
+            return f.run(x, d).error
+        return run
+
+    def streaming(backend):
+        def run():
+            f = LancFilter(n_future=64, n_past=512, secondary_path=s,
+                           mu=0.1, kernel_backend=backend)
+            st = StreamingLanc(f)
+            st.feed(np.concatenate([x, np.zeros(f.n_future)]))
+            out = [st.process(d[i:i + 160]) for i in range(0, d.size, 160)]
+            return np.concatenate(out)
+        return run
+
+    def lms(backend):
+        def run():
+            f = LmsFilter(n_taps=128, mu=0.1, kernel_backend=backend)
+            return f.run(x, d).error
+        return run
+
+    def rls(backend):
+        def run():
+            f = RlsFilter(n_taps=48, kernel_backend=backend)
+            return f.run(x, d).error
+        return run
+
+    def apa(backend):
+        def run():
+            f = ApaFilter(n_taps=128, order=4, mu=0.2,
+                          kernel_backend=backend)
+            return f.run(x, d).error
+        return run
+
+    def multiref(backend):
+        def run():
+            f = MultiRefLancFilter(n_futures=[32, 32], n_past=192,
+                                   secondary_path=s, mu=0.1,
+                                   kernel_backend=backend)
+            return f.run([x, np.roll(x, 3)], d).error
+        return run
+
+    return [("lanc", lanc), ("streaminglanc", streaming), ("lms", lms),
+            ("rls", rls), ("apa", apa), ("multiref", multiref)]
+
+
+def test_kernel_backend_sweep(white_second, report):
+    """Every engine, both backends: wall times + speedups -> JSON."""
+    s = np.zeros(8)
+    s[2] = 1.0
+    d = np.convolve(white_second, np.array([0.0] * 12 + [0.5]))[:8000]
+
+    rows = []
+    for name, make_run in _sweep_workloads(white_second, d, s):
+        timings = {}
+        outputs = {}
+        for backend in ("loop", "vector"):
+            run = make_run(backend)
+            best = np.inf
+            for __ in range(3):
+                start = time.perf_counter()
+                outputs[backend] = run()
+                best = min(best, time.perf_counter() - start)
+            timings[backend] = best
+        max_dev = float(np.max(np.abs(outputs["vector"] - outputs["loop"])))
+        rows.append({
+            "engine": name,
+            "loop_s": timings["loop"],
+            "vector_s": timings["vector"],
+            "speedup": timings["loop"] / timings["vector"],
+            "max_abs_deviation": max_dev,
+        })
+        assert max_dev <= 1e-10, f"{name}: backends disagree ({max_dev})"
+
+    path = write_bench_json("kernels", {
+        "schema": "repro.bench.kernels/v1",
+        "workload": "1 s of white noise at 8 kHz",
+        "lanc_speedup_floor": LANC_SPEEDUP_FLOOR,
+        "rows": rows,
+    })
+
+    lines = [f"{'engine':<14} {'loop':>9} {'vector':>9} {'speedup':>8}"]
+    for row in rows:
+        lines.append(f"{row['engine']:<14} {row['loop_s']:>8.3f}s "
+                     f"{row['vector_s']:>8.3f}s {row['speedup']:>7.2f}x")
+    report("\n".join(lines) + f"\n[written to {path}]")
+
+    by_engine = {row["engine"]: row for row in rows}
+    assert by_engine["lanc"]["speedup"] >= LANC_SPEEDUP_FLOOR, \
+        f"LANC vector speedup {by_engine['lanc']['speedup']:.2f}x < " \
+        f"{LANC_SPEEDUP_FLOOR}x"
 
 
 def test_rir_build(benchmark):

@@ -47,10 +47,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from . import obs
+from .core.adaptive import kernels
 from .eval import experiments
 
 
@@ -60,6 +62,13 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MUTE (SIGCOMM 2018) reproduction experiments",
+    )
+    parser.add_argument(
+        "--kernel-backend", choices=kernels.available_backends(),
+        default=None, metavar="BACKEND",
+        help="adaptive-kernel backend for every engine "
+             f"({'/'.join(kernels.available_backends())}; default: "
+             f"$REPRO_KERNEL_BACKEND or '{kernels.DEFAULT_BACKEND}')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -248,6 +257,10 @@ def main(argv=None, out=None):
     """
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+
+    if args.kernel_backend is not None:
+        # Via the environment so run-all's worker processes inherit it.
+        os.environ[kernels.ENV_VAR] = args.kernel_backend
 
     if args.command == "list":
         catalog = experiments.all_experiments()

@@ -1,8 +1,21 @@
-"""Adaptive-filter engines: LMS/NLMS, FxLMS, and lookahead-aware LANC."""
+"""Adaptive-filter engines: LMS/NLMS, FxLMS, and lookahead-aware LANC.
 
+All engines run their inner loops through the pluggable kernel layer in
+:mod:`repro.core.adaptive.kernels` (``loop`` reference backend /
+``vector`` fast backend) — see ``docs/KERNELS.md``.
+"""
+
+from . import kernels
 from .apa import ApaFilter
-from .base import AdaptationResult, TapVector, mse_curve
+from .base import (
+    AdaptationResult,
+    TapVector,
+    mse_curve,
+    record_block_metrics,
+    record_run_metrics,
+)
 from .block import BlockLancFilter
+from .kernels import KernelState, available_backends, resolve_backend_name
 from .lanc import FxlmsFilter, LancFilter
 from .lms import LmsFilter, identify_system
 from .multiref import MultiRefLancFilter
@@ -13,6 +26,8 @@ __all__ = [
     "AdaptationResult",
     "TapVector",
     "mse_curve",
+    "record_block_metrics",
+    "record_run_metrics",
     "BlockLancFilter",
     "FxlmsFilter",
     "LancFilter",
@@ -20,4 +35,8 @@ __all__ = [
     "identify_system",
     "MultiRefLancFilter",
     "RlsFilter",
+    "kernels",
+    "KernelState",
+    "available_backends",
+    "resolve_backend_name",
 ]

@@ -31,7 +31,7 @@ from ...utils.validation import (
 )
 
 __all__ = ["TapVector", "AdaptationResult", "padded_reference",
-           "tap_window", "record_run_metrics"]
+           "tap_window", "record_run_metrics", "record_block_metrics"]
 
 #: Error magnitude beyond which a filter is declared divergent.
 DIVERGENCE_LIMIT = 1e6
@@ -43,7 +43,7 @@ class TapVector:
 
     n_future: int
     n_past: int
-    values: np.ndarray = None
+    values: np.ndarray | None = None
 
     def __post_init__(self):
         check_non_negative_int("n_future", self.n_future)
@@ -157,13 +157,21 @@ def effective_step(mu, window, normalized, epsilon=1e-8):
     return mu / (power + epsilon)
 
 
-def record_run_metrics(engine, errors, desired, wall_s):
+def _metric_labels(engine, backend):
+    labels = {"engine": engine}
+    if backend is not None:
+        labels["backend"] = backend
+    return labels
+
+
+def record_run_metrics(engine, errors, desired, wall_s, backend=None):
     """Record one batch adaptation run in the obs metrics registry.
 
     Call **only when** :func:`repro.obs.enabled` — computing the
     misadjustment costs two reductions the disabled path must not pay.
 
-    Emits, labeled ``engine=<name>``:
+    Emits, labeled ``engine=<name>`` (plus ``backend=<name>`` when a
+    kernel backend is given):
 
     * ``adaptive.samples`` (counter) — samples processed;
     * ``adaptive.run_s`` (histogram) — wall time of the run;
@@ -172,11 +180,29 @@ def record_run_metrics(engine, errors, desired, wall_s):
       → 0 as it converges).
     """
     registry = obs.get_registry()
-    registry.counter("adaptive.samples", engine=engine).inc(errors.size)
-    registry.histogram("adaptive.run_s", engine=engine).observe(wall_s)
+    labels = _metric_labels(engine, backend)
+    registry.counter("adaptive.samples", **labels).inc(errors.size)
+    registry.histogram("adaptive.run_s", **labels).observe(wall_s)
     tail = errors[-max(errors.size // 4, 1):]
     reference_power = float(np.mean(np.square(desired)))
     if reference_power > 0.0:
-        registry.gauge("adaptive.misadjustment", engine=engine).set(
+        registry.gauge("adaptive.misadjustment", **labels).set(
             float(np.mean(np.square(tail))) / reference_power
         )
+
+
+def record_block_metrics(engine, wall_s, n_samples, backend=None):
+    """Record one streaming/block update in the obs metrics registry.
+
+    The shared tail of every block-processing path (both branches of
+    ``StreamingLanc.process``, ``BlockLancFilter``): one observation in
+    the ``adaptive.block_update_s`` latency histogram — what the
+    timing-budget report compares against the real-time deadline — and
+    the processed-sample counter.  Labeled ``engine=<name>`` plus
+    ``backend=<name>`` when a kernel backend is given.  Call **only
+    when** :func:`repro.obs.enabled`.
+    """
+    registry = obs.get_registry()
+    labels = _metric_labels(engine, backend)
+    registry.histogram("adaptive.block_update_s", **labels).observe(wall_s)
+    registry.counter("adaptive.samples", **labels).inc(n_samples)

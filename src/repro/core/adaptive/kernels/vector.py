@@ -1,0 +1,393 @@
+"""The ``vector`` backend: sliding-window views + precomputed recursions.
+
+Same math as :mod:`.loop`, restructured for throughput:
+
+* windows come from :func:`numpy.lib.stride_tricks.sliding_window_view`
+  over the padded reference — zero copies, zero per-sample slicing
+  logic (taps are kept in *forward* (oldest-first) order locally so the
+  window rows need no per-sample reversal);
+* everything that does not depend on the adapting taps is precomputed
+  and vectorized: the filtered reference, the per-sample NLMS window
+  powers (one ``einsum``), and the secondary-path ringing layout (one
+  growing output array read through a sliding view instead of a
+  shift-register copy per sample);
+* the *inactive* (muted speaker) and *frozen-tap* (``adapt=False``)
+  paths contain no Python loop at all — output and ringing collapse to
+  one matvec plus one sliding-window dot;
+* only the inherently sequential tap recursion — each sample's output
+  depends on taps updated by the previous sample — remains a Python
+  loop, stripped to three raw BLAS calls per sample (``ddot`` for the
+  output and the ringing, ``daxpy`` for the in-place tap update) so the
+  per-call overhead of the ufunc machinery never enters the hot path.
+
+Divergence is checked per :data:`GUARD_INTERVAL` samples rather than
+per sample: the same :class:`repro.errors.ConvergenceError` is raised
+for the same first offending sample, just a few hundred samples of
+(ignored) arithmetic later.
+
+Contract: every entry point matches :mod:`.loop` to ≤ 1e-10 absolute on
+errors/outputs/taps (property-tested in ``tests/test_kernels.py``); it
+is *not* bit-identical — summation orders differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+from scipy.linalg.blas import daxpy, ddot
+
+from ..base import DIVERGENCE_LIMIT, guard_divergence
+
+__all__ = ["fxlms_run", "fxlms_block", "lms_run", "rls_run", "apa_run",
+           "multiref_run", "GUARD_INTERVAL"]
+
+#: Samples between divergence checks in the sequential paths.
+GUARD_INTERVAL = 256
+
+_EPS = 1e-8  # NLMS step regularizer (matches base.effective_step)
+
+
+def _guard_block(errors, lo, hi, context):
+    """Raise like :func:`guard_divergence` on the first bad sample."""
+    seg = errors[lo:hi]
+    if seg.size == 0:
+        return
+    bad = ~np.isfinite(seg) | (np.abs(seg) > DIVERGENCE_LIMIT)
+    if bad.any():
+        first = int(np.flatnonzero(bad)[0])
+        guard_divergence(float(seg[first]), context)
+
+
+def _steps(windows, mu, normalized):
+    """Per-sample (N)LMS step sizes — one einsum instead of T dots."""
+    if not normalized:
+        return np.full(windows.shape[0], float(mu))
+    powers = np.einsum("ij,ij->i", windows, windows)
+    return mu / (powers + _EPS)
+
+
+def _ringing(opad, s_rev):
+    """Secondary-path contribution per sample from the padded outputs."""
+    return sliding_window_view(opad, s_rev.size) @ s_rev
+
+
+def fxlms_run(state, taps, d, mu, normalized=True, leak=0.0, adapt=True,
+              active=True, adapt_mask=None, context="LancFilter"):
+    """Batch two-sided FxLMS (vectorized); see :func:`loop.fxlms_run`."""
+    T = d.size
+    n_taps = state.n_taps
+    s_true = state.secondary_true
+    s_len = s_true.size
+
+    if not active:
+        return d.copy(), np.zeros(T)
+
+    W = sliding_window_view(state.xp, n_taps)      # row t = forward window
+    s_rev = np.ascontiguousarray(s_true[::-1])
+    taps_fwd = np.ascontiguousarray(taps[::-1])
+
+    if not adapt:
+        # Frozen taps: pure filtering, no loop at all.
+        outputs = W @ taps_fwd
+        opad = np.concatenate([np.zeros(s_len - 1), outputs])
+        errors = d + _ringing(opad, s_rev)
+        _guard_block(errors, 0, T, context)
+        return errors, outputs
+
+    Wf = sliding_window_view(state.xfp, n_taps)
+    steps = _steps(Wf, mu, normalized)
+    mask = None if adapt_mask is None else np.asarray(adapt_mask,
+                                                      dtype=bool)
+
+    opad = np.zeros(T + s_len - 1)
+    o_view = sliding_window_view(opad, s_len)      # reads reflect writes
+    errors = np.empty(T)
+    d_list = d.tolist()                            # python floats: the hot
+    step_list = steps.tolist()                     # loop dodges np scalars
+    mask_list = None if mask is None else mask.tolist()
+    decay = 1.0 - leak
+    guard_at = GUARD_INTERVAL
+    with np.errstate(all="ignore"):
+        for t in range(T):
+            y = ddot(W[t], taps_fwd)
+            opad[t + s_len - 1] = y
+            e = d_list[t] + ddot(o_view[t], s_rev)
+            errors[t] = e
+            if mask_list is None or mask_list[t]:
+                if leak:
+                    taps_fwd *= decay
+                daxpy(Wf[t], taps_fwd, a=-(step_list[t] * e))
+            if t + 1 == guard_at:
+                _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
+                             context)
+                guard_at += GUARD_INTERVAL
+    _guard_block(errors, guard_at - GUARD_INTERVAL, T, context)
+    taps[:] = taps_fwd[::-1]
+    return errors, opad[s_len - 1:].copy()
+
+
+def fxlms_block(state, taps, d, mu, normalized=True, leak=0.0, adapt=True,
+                active=True, context="StreamingLanc"):
+    """One streaming block (vectorized); see :func:`loop.fxlms_block`."""
+    B = d.size
+    n_future, n_past, n_taps = state.n_future, state.n_past, state.n_taps
+    s_true = state.secondary_true
+    s_len = s_true.size
+    time = state.time
+    s_rev = np.ascontiguousarray(s_true[::-1])
+
+    # Padded output timeline: opad[j] = y(time - (s_len-1) + j), the
+    # first s_len-1 entries being anti-noise already in flight.
+    opad = np.zeros(B + s_len - 1)
+    if s_len > 1:
+        opad[:s_len - 1] = state.y_recent[:s_len - 1][::-1]
+
+    if not active:
+        # Muted speaker: only the in-flight anti-noise rings out.
+        errors = d + _ringing(opad, s_rev)
+        state.y_recent[:] = opad[B - 1: B + s_len - 1][::-1]
+        state.time += B
+        return errors
+
+    # Reference segment covering every window of the block, zero-padded
+    # on the left exactly like the loop backend's early-sample windows.
+    lo0 = time - (n_past - 1)
+    seg = state.x[max(lo0, 0): time + B + n_future]
+    segf = state.xf[max(lo0, 0): time + B + n_future]
+    if lo0 < 0:
+        pad = np.zeros(-lo0)
+        seg = np.concatenate([pad, seg])
+        segf = np.concatenate([pad, segf])
+    W = sliding_window_view(seg, n_taps)           # row i ↔ t = time + i
+    taps_fwd = np.ascontiguousarray(taps[::-1])
+
+    if not adapt:
+        outputs = W @ taps_fwd
+        opad[s_len - 1:] = outputs
+        errors = d + _ringing(opad, s_rev)
+        _guard_block(errors, 0, B, context)
+        state.y_recent[:] = opad[B - 1: B + s_len - 1][::-1]
+        state.time += B
+        return errors
+
+    Wf = sliding_window_view(segf, n_taps)
+    steps = _steps(Wf, mu, normalized)
+    o_view = sliding_window_view(opad, s_len)
+    errors = np.empty(B)
+    d_list = d.tolist()
+    step_list = steps.tolist()
+    decay = 1.0 - leak
+    guard_at = GUARD_INTERVAL
+    with np.errstate(all="ignore"):
+        for i in range(B):
+            y = ddot(W[i], taps_fwd)
+            opad[i + s_len - 1] = y
+            e = d_list[i] + ddot(o_view[i], s_rev)
+            errors[i] = e
+            if leak:
+                taps_fwd *= decay
+            daxpy(Wf[i], taps_fwd, a=-(step_list[i] * e))
+            if i + 1 == guard_at:
+                _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
+                             context)
+                guard_at += GUARD_INTERVAL
+    _guard_block(errors, guard_at - GUARD_INTERVAL, B, context)
+    taps[:] = taps_fwd[::-1]
+    state.y_recent[:] = opad[B - 1: B + s_len - 1][::-1]
+    state.time += B
+    return errors
+
+
+def lms_run(x, d, taps, window, mu, normalized=True, leak=0.0,
+            context="LmsFilter"):
+    """Causal (N)LMS (vectorized); see :func:`loop.lms_run`."""
+    T = x.size
+    n = taps.size
+    # Extend with the shift-register history so mid-stream runs resume
+    # exactly; V[t] is the forward window after x[t] arrives.
+    ext = np.concatenate([window[::-1], x])
+    V = sliding_window_view(ext, n)[1:]
+    steps = _steps(V, mu, normalized)
+    taps_fwd = np.ascontiguousarray(taps[::-1])
+    predictions = np.empty(T)
+    errors = np.empty(T)
+    d_list = d.tolist()
+    step_list = steps.tolist()
+    decay = 1.0 - leak
+    guard_at = GUARD_INTERVAL
+    with np.errstate(all="ignore"):
+        for t in range(T):
+            w = V[t]
+            y = ddot(w, taps_fwd)
+            e = d_list[t] - y
+            predictions[t] = y
+            errors[t] = e
+            if leak:
+                taps_fwd *= decay
+            daxpy(w, taps_fwd, a=step_list[t] * e)
+            if t + 1 == guard_at:
+                _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
+                             context)
+                guard_at += GUARD_INTERVAL
+    _guard_block(errors, guard_at - GUARD_INTERVAL, T, context)
+    taps[:] = taps_fwd[::-1]
+    window[:] = ext[-n:][::-1]
+    return predictions, errors
+
+
+def rls_run(x, d, taps, window, P, forgetting, context="RlsFilter"):
+    """Exponentially-weighted RLS; windows precomputed, recursion kept.
+
+    The O(M²) inverse-correlation recursion is inherently sequential;
+    the vector backend only removes the per-sample shift register by
+    working in forward order (``P`` conjugated by the flip permutation,
+    which leaves its identity initialization invariant).
+    """
+    T = x.size
+    n = taps.size
+    ext = np.concatenate([window[::-1], x])
+    V = sliding_window_view(ext, n)[1:]
+    taps_fwd = np.ascontiguousarray(taps[::-1])
+    P_fwd = np.ascontiguousarray(P[::-1, ::-1])
+    predictions = np.empty(T)
+    errors = np.empty(T)
+    guard_at = GUARD_INTERVAL
+    with np.errstate(all="ignore"):
+        for t in range(T):
+            u = V[t]
+            y = np.dot(taps_fwd, u)
+            e = d[t] - y
+            predictions[t] = y
+            errors[t] = e
+            Pu = P_fwd @ u
+            denom = forgetting + np.dot(u, Pu)
+            gain = Pu / denom
+            taps_fwd += gain * e
+            P_fwd = (P_fwd - np.outer(gain, Pu)) / forgetting
+            P_fwd = 0.5 * (P_fwd + P_fwd.T)
+            if t + 1 == guard_at:
+                _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
+                             context)
+                guard_at += GUARD_INTERVAL
+    _guard_block(errors, guard_at - GUARD_INTERVAL, T, context)
+    taps[:] = taps_fwd[::-1]
+    window[:] = ext[-n:][::-1]
+    P[:] = P_fwd[::-1, ::-1]
+    return predictions, errors
+
+
+def apa_run(x, d, taps, window, U, d_ring, mu, epsilon,
+            context="ApaFilter"):
+    """Affine projection; windows and rings precomputed as views.
+
+    The per-sample P×P Gram solve stays (it involves the adapting
+    taps), via :func:`numpy.linalg.solve` instead of the scipy wrapper.
+    """
+    T = x.size
+    n = taps.size
+    order = U.shape[0]
+    ext = np.concatenate([window[::-1], x])
+    V = sliding_window_view(ext, n)[1:]
+    ext_d = np.concatenate([d_ring[::-1], d])
+    Dv = sliding_window_view(ext_d, order)[1:]     # forward desired rows
+    preU = np.ascontiguousarray(U[:, ::-1])        # prior windows, forward
+    pre_d = d_ring.copy()
+    taps_fwd = np.ascontiguousarray(taps[::-1])
+    eye = epsilon * np.eye(order)
+    predictions = np.empty(T)
+    errors = np.empty(T)
+    guard_at = GUARD_INTERVAL
+    with np.errstate(all="ignore"):
+        for t in range(T):
+            if t >= order - 1:
+                rows = V[t - order + 1: t + 1][::-1]   # newest first
+                dvec = Dv[t][::-1]
+            else:
+                rows = np.concatenate([V[t::-1], preU[:order - 1 - t]])
+                dvec = np.concatenate([d[t::-1], pre_d[:order - 1 - t]])
+            y = np.dot(taps_fwd, V[t])
+            e = d[t] - y
+            predictions[t] = y
+            errors[t] = e
+            e_vec = dvec - rows @ taps_fwd
+            gram = rows @ rows.T + eye
+            try:
+                solved = np.linalg.solve(gram, e_vec)
+            except np.linalg.LinAlgError:  # pragma: no cover - eps guards
+                solved = np.linalg.lstsq(gram, e_vec, rcond=None)[0]
+            taps_fwd += mu * (rows.T @ solved)
+            if t + 1 == guard_at:
+                _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
+                             context)
+                guard_at += GUARD_INTERVAL
+    _guard_block(errors, guard_at - GUARD_INTERVAL, T, context)
+    taps[:] = taps_fwd[::-1]
+    window[:] = ext[-n:][::-1]
+    # Rebuild the rings (newest first) from the tail of the run.
+    for m in range(order):
+        tm = T - 1 - m
+        if tm >= 0:
+            U[m] = V[tm][::-1]
+            d_ring[m] = ext_d[tm + order]
+        else:
+            U[m] = preU[-tm - 1][::-1]
+            d_ring[m] = pre_d[-tm - 1]
+    return predictions, errors
+
+
+def multiref_run(states, taps_list, d, mu, normalized=True, leak=0.0,
+                 adapt=True, context="MultiRefLancFilter"):
+    """Multi-reference two-sided FxLMS; see :func:`loop.multiref_run`."""
+    T = d.size
+    s_true = states[0].secondary_true
+    s_len = s_true.size
+    s_rev = np.ascontiguousarray(s_true[::-1])
+    Ws = [sliding_window_view(st.xp, st.n_taps) for st in states]
+    taps_fwd = [np.ascontiguousarray(taps[::-1]) for taps in taps_list]
+
+    if not adapt:
+        outputs = np.zeros(T)
+        for W, tf in zip(Ws, taps_fwd):
+            outputs += W @ tf
+        opad = np.concatenate([np.zeros(s_len - 1), outputs])
+        errors = d + _ringing(opad, s_rev)
+        _guard_block(errors, 0, T, context)
+        return errors, outputs
+
+    Wfs = [sliding_window_view(st.xfp, st.n_taps) for st in states]
+    # Total filtered-window power across branches, summed branch order.
+    total_power = np.zeros(T)
+    for Wf in Wfs:
+        total_power += np.einsum("ij,ij->i", Wf, Wf)
+    steps = (mu / (total_power + _EPS) if normalized
+             else np.full(T, float(mu)))
+
+    opad = np.zeros(T + s_len - 1)
+    o_view = sliding_window_view(opad, s_len)
+    errors = np.empty(T)
+    d_list = d.tolist()
+    step_list = steps.tolist()
+    decay = 1.0 - leak
+    pairs = list(zip(taps_fwd, Ws, Wfs))
+    guard_at = GUARD_INTERVAL
+    with np.errstate(all="ignore"):
+        for t in range(T):
+            y = 0.0
+            for tf, W, __ in pairs:
+                y += ddot(W[t], tf)
+            opad[t + s_len - 1] = y
+            e = d_list[t] + ddot(o_view[t], s_rev)
+            errors[t] = e
+            c = step_list[t] * e
+            for tf, __, Wf in pairs:
+                if leak:
+                    tf *= decay
+                daxpy(Wf[t], tf, a=-c)
+            if t + 1 == guard_at:
+                _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
+                             context)
+                guard_at += GUARD_INTERVAL
+    _guard_block(errors, guard_at - GUARD_INTERVAL, T, context)
+    for taps, tf in zip(taps_list, taps_fwd):
+        taps[:] = tf[::-1]
+    return errors, opad[s_len - 1:].copy()

@@ -39,14 +39,12 @@ from ...utils.validation import (
     check_same_length,
     check_waveform,
 )
+from . import kernels
 from .base import (
     AdaptationResult,
-    effective_step,
-    guard_divergence,
     mse_curve,
-    padded_reference,
+    record_block_metrics,
     record_run_metrics,
-    tap_window,
 )
 
 __all__ = ["LancFilter", "FxlmsFilter"]
@@ -71,10 +69,14 @@ class LancFilter:
         Normalize the step by the filtered-reference window power.
     leak:
         Leaky-LMS decay, guards against tap drift on narrowband inputs.
+    kernel_backend:
+        Kernel backend name (``"loop"`` / ``"vector"``); ``None`` defers
+        to ``REPRO_KERNEL_BACKEND`` then the default — see
+        :mod:`repro.core.adaptive.kernels`.
     """
 
     def __init__(self, n_future, n_past, secondary_path, mu=0.5,
-                 normalized=True, leak=0.0):
+                 normalized=True, leak=0.0, kernel_backend=None):
         self.n_future = check_non_negative_int("n_future", n_future)
         self.n_past = check_positive_int("n_past", n_past)
         self.secondary_path = check_impulse_response(
@@ -85,6 +87,10 @@ class LancFilter:
         if not 0.0 <= leak < 1.0:
             raise ConfigurationError(f"leak must be in [0, 1), got {leak}")
         self.leak = float(leak)
+        if kernel_backend is not None:
+            # Validate eagerly; resolution happens per run (env may change).
+            kernels.resolve_backend_name(kernel_backend)
+        self.kernel_backend = kernel_backend
         self.n_taps = self.n_future + self.n_past
         #: Tap values, stored future-first: ``taps[i] ↔ k = i - n_future``.
         self.taps = np.zeros(self.n_taps)
@@ -169,37 +175,20 @@ class LancFilter:
         enabled = obs.enabled()
         t_start = time.perf_counter() if enabled else None
 
-        T = x.size
-        # Filtered reference for the update (estimate of h_se, causal).
-        x_filtered = np.convolve(x, self.secondary_path)[:T]
-        xp, off = padded_reference(x, self.n_future, self.n_past)
-        xfp, offf = padded_reference(x_filtered, self.n_future, self.n_past)
-
-        s_len = s_true.size
-        y_recent = np.zeros(s_len)  # y(t), y(t-1), ... newest first
-        errors = np.empty(T)
-        outputs = np.empty(T)
-        taps = self.taps  # local alias (hot loop)
-
-        for t in range(T):
-            win = tap_window(xp, off, t, self.n_future, self.n_past)
-            y = float(np.dot(taps, win))
-            outputs[t] = y
-            y_recent[1:] = y_recent[:-1]
-            y_recent[0] = y
-            e = d[t] + float(np.dot(s_true, y_recent))
-            errors[t] = e
-            guard_divergence(e, "LancFilter")
-            if adapt and (adapt_mask is None or adapt_mask[t]):
-                winf = tap_window(xfp, offf, t, self.n_future, self.n_past)
-                step = effective_step(self.mu, winf, self.normalized)
-                if self.leak:
-                    taps *= (1.0 - self.leak)
-                taps -= step * e * winf
+        backend = kernels.resolve_backend_name(self.kernel_backend)
+        state = kernels.KernelState.batch(
+            x, self.n_future, self.n_past, self.secondary_path, s_true
+        )
+        errors, outputs = kernels.fxlms_run(
+            state, self.taps, d, self.mu, backend=backend,
+            normalized=self.normalized, leak=self.leak, adapt=adapt,
+            adapt_mask=adapt_mask, context="LancFilter",
+        )
 
         if enabled:
             record_run_metrics(type(self).__name__.lower(), errors, d,
-                               time.perf_counter() - t_start)
+                               time.perf_counter() - t_start,
+                               backend=backend)
         return AdaptationResult(
             error=errors,
             output=outputs,
@@ -216,10 +205,11 @@ class FxlmsFilter(LancFilter):
     """
 
     def __init__(self, n_taps, secondary_path, mu=0.5, normalized=True,
-                 leak=0.0):
+                 leak=0.0, kernel_backend=None):
         super().__init__(n_future=0, n_past=n_taps,
                          secondary_path=secondary_path, mu=mu,
-                         normalized=normalized, leak=leak)
+                         normalized=normalized, leak=leak,
+                         kernel_backend=kernel_backend)
 
 
 class StreamingLanc:
@@ -252,34 +242,22 @@ class StreamingLanc:
             else check_impulse_response("secondary_path_true",
                                         secondary_path_true)
         )
-        self._x = np.zeros(0)
-        self._xf = np.zeros(0)
-        self._zi = np.zeros(self.filter.secondary_path.size - 1) \
-            if self.filter.secondary_path.size > 1 else np.zeros(0)
-        self._y_recent = np.zeros(self.s_true.size)
-        self._time = 0          # next acoustic sample to process
+        # All signal history (reference, filtered reference, ringing
+        # anti-noise, the acoustic clock) lives in the kernel state.
+        self._state = kernels.KernelState.streaming(
+            lanc_filter.n_future, lanc_filter.n_past,
+            lanc_filter.secondary_path, self.s_true,
+        )
         self.errors = []
 
     @property
     def time(self):
         """Number of acoustic samples processed so far."""
-        return self._time
+        return self._state.time
 
     def feed(self, reference_block):
         """Deliver newly arrived aligned-reference samples."""
-        block = check_waveform("reference_block", reference_block,
-                               min_length=1)
-        # Incrementally maintain the filtered reference x' = s_hat * x.
-        from scipy import signal as sps
-
-        if self._zi.size:
-            filtered, self._zi = sps.lfilter(
-                self.filter.secondary_path, [1.0], block, zi=self._zi
-            )
-        else:
-            filtered = self.filter.secondary_path[0] * block
-        self._x = np.concatenate([self._x, block])
-        self._xf = np.concatenate([self._xf, filtered])
+        self._state.extend(reference_block)
 
     def peek_future(self, n_samples):
         """The next ``n_samples`` of not-yet-processed reference.
@@ -287,8 +265,7 @@ class StreamingLanc:
         This is the lookahead buffer's glimpse of what is about to reach
         the ear — the input to profile classification.
         """
-        start = self._time
-        return self._x[start: start + int(n_samples)].copy()
+        return self._state.peek_future(n_samples)
 
     def process(self, disturbance_block, adapt=True, active=True):
         """Process a block of acoustic time; returns the error block.
@@ -319,67 +296,17 @@ class StreamingLanc:
         enabled = obs.enabled()
         t_start = time.perf_counter() if enabled else None
         f = self.filter
-        needed = self._time + d.size + f.n_future
-        if self._x.size < needed:
-            raise ConfigurationError(
-                f"reference underrun: need {needed} fed samples, "
-                f"have {self._x.size}"
-            )
-        taps = f.taps
-        errors = np.empty(d.size)
-        if not active:
-            # Speaker muted: output is zero, but anti-noise already in
-            # flight keeps ringing through the secondary path.
-            for i in range(d.size):
-                self._y_recent[1:] = self._y_recent[:-1]
-                self._y_recent[0] = 0.0
-                e = d[i] + float(np.dot(self.s_true, self._y_recent))
-                errors[i] = e
-            self._time += d.size
-            self.errors.append(errors)
-            if enabled:
-                registry = obs.get_registry()
-                registry.histogram("adaptive.block_update_s",
-                                   engine="streaminglanc").observe(
-                    time.perf_counter() - t_start)
-                registry.counter("adaptive.samples",
-                                 engine="streaminglanc").inc(d.size)
-            return errors
-        for i in range(d.size):
-            t = self._time + i
-            lo = t - (f.n_past - 1)
-            hi = t + f.n_future + 1
-            if lo >= 0:
-                win = self._x[lo:hi][::-1]
-                winf = self._xf[lo:hi][::-1]
-            else:
-                pad = -lo
-                win = np.concatenate(
-                    [self._x[0:hi][::-1], np.zeros(pad)]
-                )
-                winf = np.concatenate(
-                    [self._xf[0:hi][::-1], np.zeros(pad)]
-                )
-            y = float(np.dot(taps, win))
-            self._y_recent[1:] = self._y_recent[:-1]
-            self._y_recent[0] = y
-            e = d[i] + float(np.dot(self.s_true, self._y_recent))
-            errors[i] = e
-            guard_divergence(e, "StreamingLanc")
-            if adapt:
-                step = effective_step(f.mu, winf, f.normalized)
-                if f.leak:
-                    taps *= (1.0 - f.leak)
-                taps -= step * e * winf
-        self._time += d.size
+        backend = kernels.resolve_backend_name(f.kernel_backend)
+        errors = kernels.fxlms_block(
+            self._state, f.taps, d, f.mu, backend=backend,
+            normalized=f.normalized, leak=f.leak, adapt=adapt,
+            active=active, context="StreamingLanc",
+        )
         self.errors.append(errors)
         if enabled:
-            registry = obs.get_registry()
-            registry.histogram("adaptive.block_update_s",
-                               engine="streaminglanc").observe(
-                time.perf_counter() - t_start)
-            registry.counter("adaptive.samples",
-                             engine="streaminglanc").inc(d.size)
+            record_block_metrics("streaminglanc",
+                                 time.perf_counter() - t_start, d.size,
+                                 backend=backend)
         return errors
 
     def error_signal(self):

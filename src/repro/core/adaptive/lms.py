@@ -19,6 +19,7 @@ from ...utils.validation import (
     check_same_length,
     check_waveform,
 )
+from . import kernels
 from .base import (
     AdaptationResult,
     effective_step,
@@ -49,15 +50,23 @@ class LmsFilter:
         non-stationary inputs like speech.
     leak:
         Leaky-LMS coefficient decay per update (0 = none).
+    kernel_backend:
+        Kernel backend for :meth:`run` (``None`` = env var / default;
+        see :mod:`repro.core.adaptive.kernels`).  :meth:`step` is always
+        the per-sample reference path.
     """
 
-    def __init__(self, n_taps, mu=0.5, normalized=True, leak=0.0):
+    def __init__(self, n_taps, mu=0.5, normalized=True, leak=0.0,
+                 kernel_backend=None):
         self.n_taps = check_positive_int("n_taps", n_taps)
         self.mu = check_positive("mu", mu)
         self.normalized = bool(normalized)
         if not 0.0 <= leak < 1.0:
             raise ValueError(f"leak must be in [0, 1), got {leak}")
         self.leak = float(leak)
+        if kernel_backend is not None:
+            kernels.resolve_backend_name(kernel_backend)
+        self.kernel_backend = kernel_backend
         self.taps = np.zeros(self.n_taps)
         self._window = np.zeros(self.n_taps)  # newest first
 
@@ -95,13 +104,16 @@ class LmsFilter:
         check_same_length("x", x, "d", d)
         enabled = obs.enabled()
         t_start = time.perf_counter() if enabled else None
-        predictions = np.empty(x.size)
-        errors = np.empty(x.size)
-        for t in range(x.size):
-            predictions[t], errors[t] = self.step(x[t], d[t])
+        backend = kernels.resolve_backend_name(self.kernel_backend)
+        predictions, errors = kernels.lms_run(
+            x, d, self.taps, self._window, self.mu, backend=backend,
+            normalized=self.normalized, leak=self.leak,
+            context="LmsFilter",
+        )
         if enabled:
             record_run_metrics("lmsfilter", errors, d,
-                               time.perf_counter() - t_start)
+                               time.perf_counter() - t_start,
+                               backend=backend)
         return AdaptationResult(
             error=errors,
             output=predictions,

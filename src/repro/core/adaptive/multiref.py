@@ -19,8 +19,11 @@ distances offer different lookaheads).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ... import obs
 from ...errors import ConfigurationError
 from ...utils.validation import (
     check_impulse_response,
@@ -29,12 +32,11 @@ from ...utils.validation import (
     check_positive_int,
     check_waveform,
 )
+from . import kernels
 from .base import (
     AdaptationResult,
-    guard_divergence,
     mse_curve,
-    padded_reference,
-    tap_window,
+    record_run_metrics,
 )
 
 __all__ = ["MultiRefLancFilter"]
@@ -58,10 +60,12 @@ class MultiRefLancFilter:
         power across branches (keeps the coupled update stable).
     leak:
         Leaky-LMS decay.
+    kernel_backend:
+        Kernel backend for :meth:`run` (``None`` = env var / default).
     """
 
     def __init__(self, n_futures, n_past, secondary_path, mu=0.2,
-                 normalized=True, leak=0.0):
+                 normalized=True, leak=0.0, kernel_backend=None):
         if not n_futures:
             raise ConfigurationError("need at least one reference branch")
         self.n_futures = [check_non_negative_int("n_future", n)
@@ -75,6 +79,9 @@ class MultiRefLancFilter:
         if not 0.0 <= leak < 1.0:
             raise ConfigurationError(f"leak must be in [0, 1), got {leak}")
         self.leak = float(leak)
+        if kernel_backend is not None:
+            kernels.resolve_backend_name(kernel_backend)
+        self.kernel_backend = kernel_backend
         #: Per-branch tap vectors, each stored future-first.
         self.taps = [np.zeros(n + self.n_past) for n in self.n_futures]
 
@@ -149,44 +156,25 @@ class MultiRefLancFilter:
                                         secondary_path_true)
         )
 
-        T = d.size
-        branches = []
-        for x, n_future in zip(xs, self.n_futures):
-            xf = np.convolve(x, self.secondary_path)[:T]
-            xp, off = padded_reference(x, n_future, self.n_past)
-            xfp, offf = padded_reference(xf, n_future, self.n_past)
-            branches.append((xp, off, xfp, offf, n_future))
+        enabled = obs.enabled()
+        t_start = time.perf_counter() if enabled else None
 
-        y_recent = np.zeros(s_true.size)
-        errors = np.empty(T)
-        outputs = np.empty(T)
+        backend = kernels.resolve_backend_name(self.kernel_backend)
+        states = [
+            kernels.KernelState.batch(x, n_future, self.n_past,
+                                      self.secondary_path, s_true)
+            for x, n_future in zip(xs, self.n_futures)
+        ]
+        errors, outputs = kernels.multiref_run(
+            states, self.taps, d, self.mu, backend=backend,
+            normalized=self.normalized, leak=self.leak, adapt=adapt,
+            context="MultiRefLancFilter",
+        )
 
-        for t in range(T):
-            y = 0.0
-            windows_f = []
-            for taps, (xp, off, xfp, offf, n_future) in zip(self.taps,
-                                                            branches):
-                win = tap_window(xp, off, t, n_future, self.n_past)
-                y += float(np.dot(taps, win))
-                if adapt:
-                    windows_f.append(
-                        tap_window(xfp, offf, t, n_future, self.n_past)
-                    )
-            outputs[t] = y
-            y_recent[1:] = y_recent[:-1]
-            y_recent[0] = y
-            e = d[t] + float(np.dot(s_true, y_recent))
-            errors[t] = e
-            guard_divergence(e, "MultiRefLancFilter")
-            if adapt:
-                total_power = sum(float(np.dot(w, w)) for w in windows_f)
-                step = (self.mu / (total_power + 1e-8) if self.normalized
-                        else self.mu)
-                for taps, winf in zip(self.taps, windows_f):
-                    if self.leak:
-                        taps *= (1.0 - self.leak)
-                    taps -= step * e * winf
-
+        if enabled:
+            record_run_metrics("multireflancfilter", errors, d,
+                               time.perf_counter() - t_start,
+                               backend=backend)
         return AdaptationResult(
             error=errors,
             output=outputs,

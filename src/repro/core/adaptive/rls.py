@@ -27,6 +27,7 @@ from ...utils.validation import (
     check_same_length,
     check_waveform,
 )
+from . import kernels
 from .base import (
     AdaptationResult,
     guard_divergence,
@@ -49,12 +50,18 @@ class RlsFilter:
     delta:
         Initial inverse-correlation scale (``P(0) = I/delta``); small
         values start aggressive, large values start cautious.
+    kernel_backend:
+        Kernel backend for :meth:`run` (``None`` = env var / default).
     """
 
-    def __init__(self, n_taps, forgetting=0.999, delta=1e-2):
+    def __init__(self, n_taps, forgetting=0.999, delta=1e-2,
+                 kernel_backend=None):
         self.n_taps = check_positive_int("n_taps", n_taps)
         self.forgetting = check_in_range("forgetting", forgetting, 0.5, 1.0)
         self.delta = check_positive("delta", delta)
+        if kernel_backend is not None:
+            kernels.resolve_backend_name(kernel_backend)
+        self.kernel_backend = kernel_backend
         self.taps = np.zeros(self.n_taps)
         self._window = np.zeros(self.n_taps)   # newest first
         self._P = np.eye(self.n_taps) / self.delta
@@ -95,13 +102,15 @@ class RlsFilter:
         check_same_length("x", x, "d", d)
         enabled = obs.enabled()
         t_start = time.perf_counter() if enabled else None
-        predictions = np.empty(x.size)
-        errors = np.empty(x.size)
-        for t in range(x.size):
-            predictions[t], errors[t] = self.step(x[t], d[t])
+        backend = kernels.resolve_backend_name(self.kernel_backend)
+        predictions, errors = kernels.rls_run(
+            x, d, self.taps, self._window, self._P, self.forgetting,
+            backend=backend, context="RlsFilter",
+        )
         if enabled:
             record_run_metrics("rlsfilter", errors, d,
-                               time.perf_counter() - t_start)
+                               time.perf_counter() - t_start,
+                               backend=backend)
         return AdaptationResult(
             error=errors,
             output=predictions,

@@ -48,7 +48,7 @@ class SoundProfile:
 
     label: str
     signature: np.ndarray
-    level_db: float = None
+    level_db: float | None = None
 
     def __post_init__(self):
         self.signature = np.asarray(self.signature, dtype=np.float64)

@@ -74,7 +74,7 @@ class RelayLinkState:
 
     failures: int = 0             #: consecutive failures
     total_failures: int = 0
-    last_failure_s: float = None  #: simulation time of the latest failure
+    last_failure_s: float | None = None  #: time of the latest failure
     retry_at_s: float = 0.0       #: earliest re-selection time
 
 

@@ -46,7 +46,7 @@ class JobOutcome:
     trace: dict           # repro.obs.trace/v1
     metrics: dict         # repro.obs.metrics/v1
     wall_s: float
-    error: str = None     # traceback text when the run failed
+    error: str | None = None  # traceback text when the run failed
 
     @property
     def ok(self):

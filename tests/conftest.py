@@ -18,10 +18,18 @@ import os
 
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.acoustics import Point, Room
 from repro.acoustics.rir import RirSettings
 from repro.core import MuteConfig, MuteSystem, Scenario
+
+# CI pins hypothesis to the derandomized profile (HYPOTHESIS_PROFILE=ci)
+# so property-test failures reproduce exactly across runs and machines.
+hypothesis_settings.register_profile("ci", derandomize=True,
+                                     deadline=None, print_blob=True)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 def pytest_addoption(parser):

@@ -1,0 +1,313 @@
+"""The kernel layer's contract: backends agree, selection resolves.
+
+Three families of guarantees (see ``docs/KERNELS.md``):
+
+* **loop is the reference** — for the engines that still expose a
+  per-sample ``step()`` (LMS/RLS/APA), a ``run()`` through the loop
+  backend is *bit-identical* to stepping sample by sample;
+* **vector matches loop to ≤ 1e-10** on every engine, property-tested
+  over random scenes, tap geometries and block schedules;
+* **selection** — explicit argument beats ``REPRO_KERNEL_BACKEND``
+  beats the ``loop`` default, and unknown names fail loudly everywhere
+  a backend can be named.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MuteConfig
+from repro.core.adaptive import kernels
+from repro.core.adaptive.apa import ApaFilter
+from repro.core.adaptive.kernels import KernelState
+from repro.core.adaptive.lanc import LancFilter, StreamingLanc
+from repro.core.adaptive.lms import LmsFilter
+from repro.core.adaptive.multiref import MultiRefLancFilter
+from repro.core.adaptive.rls import RlsFilter
+from repro.errors import ConfigurationError, ConvergenceError
+
+TOL = 1e-10
+S_HAT = np.array([0.7, 0.25, -0.1])
+S_TRUE = np.array([0.65, 0.3, -0.12])
+
+
+def _scene(seed, T=1500):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(T)
+    d = -np.convolve(x, np.array([0.4, 0.2, 0.1]))[:T]
+    return x, d
+
+
+def _pair(engine_cls, *args, **kwargs):
+    """The same engine twice, pinned to each backend."""
+    return (engine_cls(*args, kernel_backend="loop", **kwargs),
+            engine_cls(*args, kernel_backend="vector", **kwargs))
+
+
+class TestBackendEquivalence:
+    """vector matches loop to ≤ 1e-10 on every engine."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=12),
+           st.integers(min_value=1, max_value=48))
+    def test_lanc_batch(self, seed, n_future, n_past):
+        x, d = _scene(seed)
+        lo, ve = _pair(LancFilter, n_future, n_past, S_HAT, mu=0.3)
+        ra = lo.run(x, d, secondary_path_true=S_TRUE)
+        rb = ve.run(x, d, secondary_path_true=S_TRUE)
+        np.testing.assert_allclose(rb.error, ra.error, atol=TOL, rtol=0)
+        np.testing.assert_allclose(rb.output, ra.output, atol=TOL, rtol=0)
+        np.testing.assert_allclose(rb.taps, ra.taps, atol=TOL, rtol=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_lanc_batch_frozen_and_masked(self, seed):
+        x, d = _scene(seed)
+        rng = np.random.default_rng(seed + 1)
+        mask = rng.random(x.size) > 0.4
+        warm = rng.standard_normal(4 + 24) * 0.01
+        for kwargs in ({"adapt": False}, {"adapt_mask": mask}):
+            lo, ve = _pair(LancFilter, 4, 24, S_HAT, mu=0.3)
+            lo.set_taps(warm)
+            ve.set_taps(warm)
+            ra = lo.run(x, d, secondary_path_true=S_TRUE, **kwargs)
+            rb = ve.run(x, d, secondary_path_true=S_TRUE, **kwargs)
+            np.testing.assert_allclose(rb.error, ra.error, atol=TOL,
+                                       rtol=0)
+            np.testing.assert_allclose(rb.taps, ra.taps, atol=TOL, rtol=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=300))
+    def test_streaming_blocks(self, seed, block):
+        x, d = _scene(seed)
+        n_future = 6
+        streams = []
+        for backend in ("loop", "vector"):
+            f = LancFilter(n_future, 32, S_HAT, mu=0.3,
+                           kernel_backend=backend)
+            stream = StreamingLanc(f, secondary_path_true=S_TRUE)
+            stream.feed(np.concatenate([x, np.zeros(n_future)]))
+            for t0 in range(0, x.size, block):
+                stream.process(d[t0: t0 + block])
+            streams.append(stream)
+        np.testing.assert_allclose(streams[1].error_signal(),
+                                   streams[0].error_signal(),
+                                   atol=TOL, rtol=0)
+        np.testing.assert_allclose(streams[1].filter.taps,
+                                   streams[0].filter.taps,
+                                   atol=TOL, rtol=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=32),
+           st.booleans())
+    def test_lms(self, seed, n_taps, normalized):
+        x, d = _scene(seed, T=800)
+        lo, ve = _pair(LmsFilter, n_taps, mu=0.2 if normalized else 0.01,
+                       normalized=normalized)
+        ra, rb = lo.run(x, d), ve.run(x, d)
+        np.testing.assert_allclose(rb.error, ra.error, atol=TOL, rtol=0)
+        np.testing.assert_allclose(rb.taps, ra.taps, atol=TOL, rtol=0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=24))
+    def test_rls(self, seed, n_taps):
+        x, d = _scene(seed, T=600)
+        lo, ve = _pair(RlsFilter, n_taps, forgetting=0.995)
+        ra, rb = lo.run(x, d), ve.run(x, d)
+        np.testing.assert_allclose(rb.error, ra.error, atol=TOL, rtol=0)
+        np.testing.assert_allclose(rb.taps, ra.taps, atol=TOL, rtol=0)
+        np.testing.assert_allclose(ve._P, lo._P, atol=TOL, rtol=0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=6))
+    def test_apa(self, seed, order):
+        x, d = _scene(seed, T=600)
+        lo, ve = _pair(ApaFilter, 16, order=order, mu=0.4)
+        ra, rb = lo.run(x, d), ve.run(x, d)
+        np.testing.assert_allclose(rb.error, ra.error, atol=TOL, rtol=0)
+        np.testing.assert_allclose(rb.taps, ra.taps, atol=TOL, rtol=0)
+        np.testing.assert_allclose(ve._U, lo._U, atol=TOL, rtol=0)
+        np.testing.assert_allclose(ve._d, lo._d, atol=TOL, rtol=0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=8),
+           st.integers(min_value=0, max_value=8))
+    def test_multiref(self, seed, nf_a, nf_b):
+        x1, d = _scene(seed, T=900)
+        x2, __ = _scene(seed + 7, T=900)
+        lo, ve = _pair(MultiRefLancFilter, [nf_a, nf_b], 20, S_HAT,
+                       mu=0.2)
+        ra = lo.run([x1, x2], d, secondary_path_true=S_TRUE)
+        rb = ve.run([x1, x2], d, secondary_path_true=S_TRUE)
+        np.testing.assert_allclose(rb.error, ra.error, atol=TOL, rtol=0)
+        np.testing.assert_allclose(rb.taps, ra.taps, atol=TOL, rtol=0)
+
+    def test_vector_also_diverges(self):
+        x, d = _scene(0, T=2000)
+        for backend in ("loop", "vector"):
+            f = LmsFilter(8, mu=5.0, normalized=False,
+                          kernel_backend=backend)
+            with pytest.raises(ConvergenceError):
+                f.run(x, 10.0 * d)
+
+
+class TestLoopIsReference:
+    """run() through the loop backend ≡ the engines' per-sample step()."""
+
+    def test_lms_run_matches_step(self):
+        x, d = _scene(3, T=500)
+        a = LmsFilter(12, mu=0.3, kernel_backend="loop")
+        ra = a.run(x, d)
+        b = LmsFilter(12, mu=0.3)
+        stepped = np.array([b.step(x[t], d[t])[1] for t in range(x.size)])
+        np.testing.assert_array_equal(ra.error, stepped)
+        np.testing.assert_array_equal(a.taps, b.taps)
+
+    def test_rls_run_matches_step(self):
+        x, d = _scene(4, T=400)
+        a = RlsFilter(10, kernel_backend="loop")
+        ra = a.run(x, d)
+        b = RlsFilter(10)
+        stepped = np.array([b.step(x[t], d[t])[1] for t in range(x.size)])
+        np.testing.assert_array_equal(ra.error, stepped)
+        np.testing.assert_array_equal(a.taps, b.taps)
+        np.testing.assert_array_equal(a._P, b._P)
+
+    def test_apa_run_matches_step(self):
+        x, d = _scene(5, T=400)
+        a = ApaFilter(10, order=3, kernel_backend="loop")
+        ra = a.run(x, d)
+        b = ApaFilter(10, order=3)
+        stepped = np.array([b.step(x[t], d[t])[1] for t in range(x.size)])
+        np.testing.assert_array_equal(ra.error, stepped)
+        np.testing.assert_array_equal(a.taps, b.taps)
+
+
+class TestStreamingEdgeCases:
+    def _stream(self, backend="loop", n_future=4, n_past=16):
+        f = LancFilter(n_future, n_past, S_HAT, mu=0.2,
+                       kernel_backend=backend)
+        return StreamingLanc(f, secondary_path_true=S_TRUE)
+
+    def test_underrun_error_message(self):
+        x, d = _scene(0, T=200)
+        for backend in ("loop", "vector"):
+            stream = self._stream(backend)
+            stream.feed(x[:100])
+            with pytest.raises(ConfigurationError,
+                               match=r"reference underrun: need 104 fed "
+                                     r"samples, have 100"):
+                stream.process(d[:100])
+            # Nothing was processed: time did not advance.
+            assert stream.time == 0
+            stream.process(d[:96])
+            assert stream.time == 96
+
+    def test_peek_future_past_fed_horizon(self):
+        x, __ = _scene(1, T=50)
+        stream = self._stream()
+        stream.feed(x)
+        np.testing.assert_array_equal(stream.peek_future(20), x[:20])
+        # Asking beyond what was fed returns only what exists.
+        assert stream.peek_future(80).size == 50
+        np.testing.assert_array_equal(stream.peek_future(80), x)
+        stream.process(np.zeros(30))
+        np.testing.assert_array_equal(stream.peek_future(80), x[30:])
+
+    def test_inactive_ringing_equivalent_across_backends(self):
+        # Converge, then mute the speaker: the anti-noise already in
+        # flight must ring through s_true identically on both backends.
+        x, d = _scene(2, T=900)
+        tails = []
+        for backend in ("loop", "vector"):
+            stream = self._stream(backend)
+            stream.feed(x)
+            stream.process(d[:600])
+            tails.append(stream.process(d[600:850], active=False))
+        np.testing.assert_allclose(tails[1], tails[0], atol=TOL, rtol=0)
+        # The first s_len-1 muted samples still carry ringing; after
+        # that the residual is exactly the disturbance.
+        s_len = S_TRUE.size
+        assert not np.array_equal(tails[0][:s_len - 1], d[600:600 + s_len - 1])
+        np.testing.assert_array_equal(tails[0][s_len - 1:],
+                                      d[600 + s_len - 1: 850])
+
+
+class TestBackendSelection:
+    def test_default_is_loop(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        assert kernels.resolve_backend_name() == "loop"
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "vector")
+        assert kernels.resolve_backend_name() == "vector"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "vector")
+        assert kernels.resolve_backend_name("loop") == "loop"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            kernels.resolve_backend_name("numba")
+
+    def test_engines_validate_backend_eagerly(self):
+        for build in (
+            lambda: LancFilter(2, 8, S_HAT, kernel_backend="nope"),
+            lambda: LmsFilter(8, kernel_backend="nope"),
+            lambda: RlsFilter(8, kernel_backend="nope"),
+            lambda: ApaFilter(8, kernel_backend="nope"),
+            lambda: MultiRefLancFilter([2], 8, S_HAT,
+                                       kernel_backend="nope"),
+            lambda: MuteConfig(kernel_backend="nope"),
+        ):
+            with pytest.raises(ConfigurationError):
+                build()
+
+    def test_env_var_reaches_engine(self, monkeypatch):
+        x, d = _scene(6, T=400)
+        monkeypatch.setenv(kernels.ENV_VAR, "vector")
+        via_env = LancFilter(4, 16, S_HAT, mu=0.3).run(x, d)
+        monkeypatch.delenv(kernels.ENV_VAR)
+        explicit = LancFilter(4, 16, S_HAT, mu=0.3,
+                              kernel_backend="vector").run(x, d)
+        np.testing.assert_array_equal(via_env.error, explicit.error)
+
+    def test_available_backends(self):
+        assert kernels.available_backends() == ("loop", "vector")
+
+
+class TestKernelState:
+    def test_batch_windows_match_convention(self):
+        x = np.arange(10.0)
+        state = KernelState.batch(x, 2, 3, np.array([1.0]))
+        # window[i] = x(t + n_future - i), zeros outside the signal.
+        np.testing.assert_array_equal(state.window(4),
+                                      np.array([6., 5., 4., 3., 2.]))
+        np.testing.assert_array_equal(state.window(0),
+                                      np.array([2., 1., 0., 0., 0.]))
+        np.testing.assert_array_equal(state.window(9),
+                                      np.array([0., 0., 9., 8., 7.]))
+
+    def test_streaming_state_rejects_batch_accessors(self):
+        state = KernelState.streaming(2, 3, S_HAT)
+        with pytest.raises(ConfigurationError):
+            state.window(0)
+        batch = KernelState.batch(np.ones(8), 2, 3, S_HAT)
+        with pytest.raises(ConfigurationError):
+            batch.extend(np.ones(4))
+
+    def test_streaming_filtered_reference_matches_batch(self):
+        x, __ = _scene(8, T=300)
+        batch = KernelState.batch(x, 2, 8, S_HAT)
+        stream = KernelState.streaming(2, 8, S_HAT)
+        for t0 in range(0, 300, 37):
+            stream.extend(x[t0: t0 + 37])
+        assert stream.fed() == 300
+        np.testing.assert_allclose(stream.xf, batch.xf, atol=1e-12)
