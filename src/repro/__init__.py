@@ -38,8 +38,12 @@ Package map
     Metrics, the listener-rating model, and one experiment runner per
     paper figure.
 ``repro.runtime``
-    Content-addressed result cache and the parallel experiment executor
+    Content-addressed result cache, the parallel experiment executor,
+    and the :class:`~repro.runtime.RunRequest` run-configuration API
     (``docs/RUNTIME.md``).
+``repro.serving``
+    Multi-session serving runtime: batched cross-session kernels,
+    admission control, backpressure (``docs/SERVING.md``).
 ``repro.obs``
     Off-by-default observability: span tracing, metrics, and the
     timing-budget profiler (``docs/OBSERVABILITY.md``).

@@ -26,6 +26,16 @@ Subcommands
         python -m repro run-all --jobs 2 timing fig13
         python -m repro run-all --jobs 4 --out suite.json
 
+``serve-bench``
+    Drive the multi-session serving runtime (:mod:`repro.serving`):
+    admit N concurrent device sessions and drain them through the
+    batched cross-session kernel, printing throughput and block-latency
+    percentiles — with ``--check``, also run the serial schedule and
+    verify the two are bit-identical (the CI smoke)::
+
+        python -m repro serve-bench --sessions 8 --duration 0.3 --check
+        python -m repro serve-bench --sessions 64 --out serving.json
+
 ``obs-report``
     Run the headline office scenario with observability
     (:mod:`repro.obs`) enabled and print the span tree, the metrics
@@ -47,7 +57,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 
@@ -98,8 +107,29 @@ def build_parser():
     run_all.add_argument("--no-obs", action="store_true",
                          help="skip per-run obs tracing/metrics")
     run_all.add_argument("--out", default=None, metavar="PATH",
-                         help="write the repro.runtime.report/v1 JSON "
+                         help="write the repro.runtime.report/v2 JSON "
                               "suite document to PATH")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drain N concurrent sessions through the serving runtime",
+    )
+    serve.add_argument("--sessions", type=int, default=8, metavar="N",
+                       help="concurrent device sessions (default 8)")
+    serve.add_argument("--duration", type=float, default=0.5,
+                       help="simulated seconds per session (default 0.5)")
+    serve.add_argument("--block", type=int, default=256,
+                       help="lock-step block size in samples (default 256)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base workload seed (default 0)")
+    serve.add_argument("--serial", action="store_true",
+                       help="serial scheduling instead of batched")
+    serve.add_argument("--check", action="store_true",
+                       help="run BOTH schedules and verify bit-identity "
+                            "(exit 1 on mismatch)")
+    serve.add_argument("--out", default=None, metavar="PATH",
+                       help="write the repro.runtime.report/v2 serving "
+                            "JSON document to PATH")
 
     obs_report = sub.add_parser(
         "obs-report",
@@ -121,12 +151,12 @@ def build_parser():
     return parser
 
 
-def _run_one(name, duration, seed, out):
+def _run_one(name, request, out):
     """Run one named experiment and print its report to ``out``."""
     entry = experiments.get(name)
     print(f"== {name}: {entry.description} ==", file=out)
     started = time.time()
-    result = entry.run(duration_s=duration, seed=seed)
+    result = entry.run(request=request)
     print(result.report(), file=out)
     print(f"[{name} done in {time.time() - started:.1f}s]\n", file=out)
     return result
@@ -148,9 +178,13 @@ def _run_suite(args, out):
 
     suite = runtime.run_experiments(
         names,
-        jobs=args.jobs,
-        params={"duration_s": args.duration, "seed": args.seed},
-        with_obs=not args.no_obs,
+        request=runtime.RunRequest(
+            seed=args.seed,
+            duration_s=args.duration,
+            kernel_backend=args.kernel_backend,
+            with_obs=not args.no_obs,
+            jobs=args.jobs,
+        ),
     )
 
     for outcome in suite.outcomes:
@@ -169,13 +203,67 @@ def _run_suite(args, out):
     if args.out:
         try:
             with open(args.out, "w", encoding="utf-8") as fh:
-                json.dump(suite.to_dict(), fh, indent=2, default=str)
+                fh.write(suite.to_json(indent=2))
         except OSError as exc:
             print(f"run-all: cannot write {args.out}: {exc}", file=out)
             return 2
         print(f"\n[JSON suite report written to {args.out}]", file=out)
 
     return 0 if not suite.failures() else 1
+
+
+def _run_serve_bench(args, out):
+    """The ``serve-bench`` subcommand: drain a session fleet, report.
+
+    With ``--check``, both schedules run and their per-session residual
+    digests must match bit for bit — the CI smoke for the serial ==
+    batched serving contract.
+    """
+    from . import serving
+
+    if args.sessions < 1:
+        print("serve-bench: --sessions must be >= 1", file=out)
+        return 2
+    if args.duration <= 0:
+        print("serve-bench: --duration must be > 0", file=out)
+        return 2
+    if args.block < 1:
+        print("serve-bench: --block must be >= 1", file=out)
+        return 2
+
+    def drain(batched):
+        config = serving.ServerConfig(
+            batched=batched, block_size=args.block,
+            max_sessions=max(args.sessions, 1),
+        )
+        server = serving.SessionServer(config)
+        for i in range(args.sessions):
+            server.submit(serving.SessionWorkload.synthetic(
+                f"user{i}", duration_s=args.duration, seed=args.seed + i,
+                sample_rate=config.session.sample_rate))
+        return server.run_until_drained()
+
+    report = drain(batched=not args.serial)
+    print(report.report(), file=out)
+
+    code = 0
+    if args.check:
+        other = drain(batched=args.serial)
+        matched = report.digests() == other.digests()
+        print(f"\nserial == batched digests: "
+              f"{'OK' if matched else 'MISMATCH'}", file=out)
+        if not matched:
+            code = 1
+
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2, default=str)
+        except OSError as exc:
+            print(f"serve-bench: cannot write {args.out}: {exc}", file=out)
+            return 2
+        print(f"[JSON serving report written to {args.out}]", file=out)
+    return code
 
 
 def _run_obs_report(args, out):
@@ -255,12 +343,14 @@ def main(argv=None, out=None):
     out:
         Output stream (defaults to stdout) — injectable for tests.
     """
+    from .runtime import RunRequest
+
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
 
-    if args.kernel_backend is not None:
-        # Via the environment so run-all's worker processes inherit it.
-        os.environ[kernels.ENV_VAR] = args.kernel_backend
+    # The kernel backend rides on a RunRequest (scoped around each
+    # command) rather than a permanent environment write.
+    backend_request = RunRequest(kernel_backend=args.kernel_backend)
 
     if args.command == "list":
         catalog = experiments.all_experiments()
@@ -270,7 +360,12 @@ def main(argv=None, out=None):
         return 0
 
     if args.command == "obs-report":
-        return _run_obs_report(args, out)
+        with backend_request.kernel_backend_scope():
+            return _run_obs_report(args, out)
+
+    if args.command == "serve-bench":
+        with backend_request.kernel_backend_scope():
+            return _run_serve_bench(args, out)
 
     if args.command == "run-all":
         try:
@@ -280,9 +375,11 @@ def main(argv=None, out=None):
 
     names = experiments.experiment_names() if args.experiment == "all" \
         else [args.experiment]
+    request = RunRequest(seed=args.seed, duration_s=args.duration,
+                         kernel_backend=args.kernel_backend)
     try:
         for name in names:
-            _run_one(name, args.duration, args.seed, out)
+            _run_one(name, request, out)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — normal CLI etiquette.
         return 0

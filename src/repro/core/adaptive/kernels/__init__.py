@@ -51,6 +51,7 @@ __all__ = [
     "get_backend",
     "fxlms_run",
     "fxlms_block",
+    "fxlms_block_batch",
     "lms_run",
     "rls_run",
     "apa_run",
@@ -110,6 +111,55 @@ def fxlms_block(state, taps, d, mu, backend=None, **kwargs):
             f"have {state.x.size}"
         )
     return get_backend(backend).fxlms_block(state, taps, d, mu, **kwargs)
+
+
+def fxlms_block_batch(states, taps, d, mu, **kwargs):
+    """One lock-step FxLMS block across a batch of streaming states.
+
+    The cross-session kernel behind :mod:`repro.serving`; returns
+    ``(errors, diverged)`` — see :func:`vector.fxlms_block_batch`.
+    There is no per-backend choice here: the batch path *is* the
+    vectorized implementation, and serial serving calls the same
+    kernel with singleton batches (that is what makes serial == batched
+    bit-identical).  Homogeneity and underrun validation is shared
+    here so the hot kernel can assume clean inputs.
+    """
+    import numpy as np
+
+    if not states:
+        raise ConfigurationError("fxlms_block_batch needs >= 1 state")
+    st0 = states[0]
+    for st in states:
+        if st.mode != "streaming":
+            raise ConfigurationError(
+                "fxlms_block_batch needs streaming KernelStates"
+            )
+        if (st.n_future, st.n_past) != (st0.n_future, st0.n_past) \
+                or st.secondary_true.size != st0.secondary_true.size:
+            raise ConfigurationError(
+                "fxlms_block_batch needs homogeneous session geometry "
+                f"(n_future={st0.n_future}, n_past={st0.n_past}, "
+                f"s_len={st0.secondary_true.size})"
+            )
+    taps = np.asarray(taps)
+    d = np.asarray(d)
+    if d.ndim != 2 or d.shape[0] != len(states):
+        raise ConfigurationError(
+            f"d must be (n_sessions, block); got {d.shape}"
+        )
+    if taps.shape != (len(states), st0.n_taps):
+        raise ConfigurationError(
+            f"taps must be ({len(states)}, {st0.n_taps}); "
+            f"got {taps.shape}"
+        )
+    for st in states:
+        needed = st.time + d.shape[1] + st.n_future
+        if st.x.size < needed:
+            raise ConfigurationError(
+                f"reference underrun: need {needed} fed samples, "
+                f"have {st.x.size}"
+            )
+    return vector.fxlms_block_batch(states, taps, d, mu, **kwargs)
 
 
 def lms_run(x, d, taps, window, mu, backend=None, **kwargs):

@@ -38,8 +38,8 @@ from scipy.linalg.blas import daxpy, ddot
 
 from ..base import DIVERGENCE_LIMIT, guard_divergence
 
-__all__ = ["fxlms_run", "fxlms_block", "lms_run", "rls_run", "apa_run",
-           "multiref_run", "GUARD_INTERVAL"]
+__all__ = ["fxlms_run", "fxlms_block", "fxlms_block_batch", "lms_run",
+           "rls_run", "apa_run", "multiref_run", "GUARD_INTERVAL"]
 
 #: Samples between divergence checks in the sequential paths.
 GUARD_INTERVAL = 256
@@ -196,6 +196,118 @@ def fxlms_block(state, taps, d, mu, normalized=True, leak=0.0, adapt=True,
     state.y_recent[:] = opad[B - 1: B + s_len - 1][::-1]
     state.time += B
     return errors
+
+
+def fxlms_block_batch(states, taps, d, mu, normalized=True, leak=0.0,
+                      adapt=None, active=None, context="SessionServer"):
+    """One lock-step FxLMS block across a *batch* of streaming states.
+
+    The cross-session kernel behind :mod:`repro.serving`: per-session
+    tap vectors and reference histories are stacked on a leading
+    session axis ``S`` so one vectorized NLMS update services every
+    session in the block — per-sample work is ``S`` fused row-wise
+    operations instead of ``S`` Python-level kernel calls.
+
+    Parameters
+    ----------
+    states:
+        Sequence of ``S`` streaming :class:`KernelState` objects with
+        identical geometry (``n_future``/``n_past``/secondary-path
+        length); each keeps its own reference history, clock, and
+        ringing buffer, which are advanced in place.
+    taps:
+        ``(S, n_taps)`` tap matrix, future-first rows, adapted in
+        place.
+    d:
+        ``(S, B)`` disturbance block.
+    mu:
+        Scalar step size, or per-session ``(S,)`` array.
+    adapt / active:
+        Optional per-session boolean masks (default: all true) — the
+        degradation controller's gates, applied *per row* so one
+        degraded session freezes or mutes without touching the rest.
+
+    Returns
+    -------
+    (errors, diverged):
+        ``errors`` is the ``(S, B)`` residual block; ``diverged`` a
+        ``(S,)`` boolean mask of sessions whose residual went
+        non-finite or past :data:`DIVERGENCE_LIMIT`.  Divergence is
+        *reported*, not raised — isolating a runaway session is the
+        server's job, and one bad row must not stall the batch.
+
+    Determinism contract
+    --------------------
+    Every step is a row-wise numpy operation (per-row ``einsum`` dots,
+    elementwise gating), so each session's row is computed by exactly
+    the same instruction sequence whether ``S == 1`` or ``S == 64`` —
+    batched serving is *bit-identical* to serial serving that calls
+    this kernel with singleton batches (property-tested in
+    ``tests/test_serving.py``).  Against the per-session
+    :func:`fxlms_block` the usual vector-backend contract applies:
+    ≤ 1e-10, not bit-identity (summation orders differ).
+    """
+    S = len(states)
+    st0 = states[0]
+    B = d.shape[1]
+    n_future, n_past, n_taps = st0.n_future, st0.n_past, st0.n_taps
+    s_len = st0.secondary_true.size
+
+    adapt_mask = (np.ones(S, dtype=bool) if adapt is None
+                  else np.asarray(adapt, dtype=bool))
+    active_mask = (np.ones(S, dtype=bool) if active is None
+                   else np.asarray(active, dtype=bool))
+    mu_arr = np.broadcast_to(np.asarray(mu, dtype=np.float64), (S,))
+
+    # Stacked, left-zero-padded reference segments: row s covers every
+    # window of session s's block (same early-sample padding as the
+    # single-session path).
+    L = (n_past - 1) + B + n_future
+    SEG = np.zeros((S, L))
+    SEGF = np.zeros((S, L))
+    S_REV = np.empty((S, s_len))
+    opad = np.zeros((S, B + s_len - 1))
+    for s, st in enumerate(states):
+        lo0 = st.time - (n_past - 1)
+        seg = st.x[max(lo0, 0): st.time + B + n_future]
+        SEG[s, L - seg.size:] = seg
+        segf = st.xf[max(lo0, 0): st.time + B + n_future]
+        SEGF[s, L - segf.size:] = segf
+        S_REV[s] = st.secondary_true[::-1]
+        if s_len > 1:
+            opad[s, :s_len - 1] = st.y_recent[:s_len - 1][::-1]
+
+    W = sliding_window_view(SEG, n_taps, axis=1)    # (S, B, n_taps)
+    Wf = sliding_window_view(SEGF, n_taps, axis=1)
+    o_view = sliding_window_view(opad, s_len, axis=1)  # reads see writes
+    taps_fwd = np.ascontiguousarray(taps[:, ::-1])
+
+    if normalized:
+        powers = np.einsum("sbj,sbj->sb", Wf, Wf)
+        steps = mu_arr[:, None] / (powers + _EPS)
+    else:
+        steps = np.broadcast_to(mu_arr[:, None], (S, B))
+
+    errors = np.empty((S, B))
+    decay_row = np.where(adapt_mask, 1.0 - leak, 1.0)[:, None]
+    with np.errstate(all="ignore"):
+        for i in range(B):
+            y = np.einsum("sj,sj->s", W[:, i, :], taps_fwd)
+            opad[:, i + s_len - 1] = np.where(active_mask, y, 0.0)
+            e = d[:, i] + np.einsum("sj,sj->s", o_view[:, i, :], S_REV)
+            errors[:, i] = e
+            coef = np.where(adapt_mask, steps[:, i] * e, 0.0)
+            if leak:
+                taps_fwd *= decay_row
+            taps_fwd -= coef[:, None] * Wf[:, i, :]
+
+    taps[:, :] = taps_fwd[:, ::-1]
+    diverged = np.any(~np.isfinite(errors)
+                      | (np.abs(errors) > DIVERGENCE_LIMIT), axis=1)
+    for s, st in enumerate(states):
+        st.y_recent[:] = opad[s, B - 1: B + s_len - 1][::-1]
+        st.time += B
+    return errors, diverged
 
 
 def lms_run(x, d, taps, window, mu, normalized=True, leak=0.0,

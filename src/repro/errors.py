@@ -14,11 +14,13 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "UnknownParameterError",
     "SignalError",
     "ChannelError",
     "ConvergenceError",
     "LookaheadError",
     "RelaySelectionError",
+    "ServingOverloadError",
 ]
 
 
@@ -32,6 +34,26 @@ class ConfigurationError(ReproError, ValueError):
     Raised eagerly at construction time so misconfiguration is caught
     before a long simulation starts.
     """
+
+
+class UnknownParameterError(ConfigurationError):
+    """An override names a parameter the target does not accept.
+
+    Carries the offending names so callers (the CLI, the executor) can
+    print exactly what was wrong without parsing the message.
+
+    Attributes
+    ----------
+    unknown:
+        Sorted tuple of the unrecognized parameter names.
+    valid:
+        Tuple of the names that *are* accepted, in signature order.
+    """
+
+    def __init__(self, message, unknown=(), valid=()):
+        super().__init__(message)
+        self.unknown = tuple(unknown)
+        self.valid = tuple(valid)
 
 
 class SignalError(ReproError, ValueError):
@@ -57,3 +79,12 @@ class LookaheadError(ReproError, ValueError):
 
 class RelaySelectionError(ReproError, RuntimeError):
     """Relay selection could not produce a valid decision."""
+
+
+class ServingOverloadError(ReproError, RuntimeError):
+    """The session server refused an admission: capacity is exhausted.
+
+    Raised by :meth:`repro.serving.SessionManager.submit` under the
+    ``"reject"`` shed policy when both the active set and the pending
+    queue are full — the serving layer's explicit backpressure signal.
+    """

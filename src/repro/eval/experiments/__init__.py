@@ -32,6 +32,7 @@ from .ext_edge import EdgeResult, run_edge
 from .ext_mobility import MobilityResult, run_mobility
 from .ext_multisource import MultiSourceResult, run_multisource
 from .ext_resilience import ResilienceResult, run_resilience
+from .ext_serving import ServingResult, run_serving
 from .ext_wideband import WidebandResult, run_wideband
 from .fig12_overall import Fig12Result, run_fig12
 from .fig13_response import Fig13Result, run_fig13
@@ -76,6 +77,8 @@ _CATALOG = (
      "extension: beyond the 4 kHz cap (fast DSP)"),
     ("resilience", run_resilience,
      "extension: fault injection & graceful degradation"),
+    ("serving", run_serving,
+     "extension: multi-session serving runtime (batched kernels)"),
 )
 
 for _name, _runner, _description in _CATALOG:
@@ -111,6 +114,8 @@ __all__ = [
     "run_multisource",
     "ResilienceResult",
     "run_resilience",
+    "ServingResult",
+    "run_serving",
     "WidebandResult",
     "run_wideband",
     "Fig12Result",

@@ -24,18 +24,26 @@ from __future__ import annotations
 
 import dataclasses
 import inspect
+import json
 
-from ...errors import ConfigurationError
+from ...errors import ConfigurationError, UnknownParameterError
 
 __all__ = [
+    "REPORT_SCHEMA",
     "Experiment",
     "ExperimentResult",
+    "RehydratedResults",
     "all_experiments",
     "experiment_names",
     "experiment_result",
     "get",
     "register",
 ]
+
+#: Schema identifier of the ``report/v2`` envelope family.  Result and
+#: suite documents share it and are told apart by their ``kind`` field
+#: (``"result"`` vs ``"suite"`` — see ``repro.runtime.executor``).
+REPORT_SCHEMA = "repro.runtime.report/v2"
 
 
 def _jsonable_param(value):
@@ -56,21 +64,51 @@ def _jsonable_param(value):
     return text if len(text) <= 120 else text[:117] + "..."
 
 
+class RehydratedResults:
+    """Results placeholder rebuilt from a serialized ``report/v2`` doc.
+
+    A deserialized envelope cannot restore the figure's rich result
+    dataclass (numpy arrays never enter the JSON document); this stands
+    in for it, carrying the one thing the document preserved — the
+    rendered report text — so ``result.report()`` keeps working after
+    :meth:`ExperimentResult.from_json`.
+    """
+
+    def __init__(self, report_text):
+        self.report_text = report_text
+
+    def report(self):
+        """The report text as serialized (``None`` if absent)."""
+        return self.report_text
+
+    def __repr__(self):
+        return f"{type(self).__name__}(report_text=...)"
+
+
 class ExperimentResult(dict):
-    """The normalized runner return value: ``{name, params, results}``.
+    """The normalized runner return value (``report/v2`` envelope).
 
     A plain ``dict`` (mergeable, picklable, iterable like any sweep
-    record) whose attribute access falls through to the ``results``
-    object, so legacy call sites keep reading ``result.curves`` or
-    calling ``result.report()`` unchanged.
+    record) with top-level keys ``schema`` / ``name`` / ``params`` /
+    ``results``, whose attribute access falls through to the
+    ``results`` object, so legacy call sites keep reading
+    ``result.curves`` or calling ``result.report()`` unchanged.
+    :meth:`to_json` / :meth:`from_json` round-trip the JSON-able
+    subset (schema, name, params, report text).
     """
 
     def __init__(self, name, params, results):
         super().__init__(
+            schema=REPORT_SCHEMA,
             name=str(name),
             params={str(k): _jsonable_param(v) for k, v in params.items()},
             results=results,
         )
+
+    @property
+    def schema(self):
+        """The envelope schema identifier (:data:`REPORT_SCHEMA`)."""
+        return self["schema"]
 
     @property
     def name(self):
@@ -93,6 +131,56 @@ class ExperimentResult(dict):
         if hasattr(results, "report"):
             return results.report()
         return str(results)
+
+    # ------------------------------------------------------------------
+    # report/v2 serialization
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-able ``report/v2`` result document.
+
+        Carries the envelope metadata and the rendered report text; the
+        rich results object (numpy arrays and all) stays on the live
+        envelope only.
+        """
+        return {
+            "schema": REPORT_SCHEMA,
+            "kind": "result",
+            "name": self["name"],
+            "params": self["params"],
+            "report": self.report(),
+        }
+
+    def to_json(self, **kwargs):
+        """:meth:`to_dict` as a JSON string (kwargs go to ``json.dumps``)."""
+        kwargs.setdefault("default", str)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, document):
+        """Rebuild an envelope from a ``report/v2`` result document.
+
+        The results object comes back as :class:`RehydratedResults`
+        (report text only); ``from_dict(x.to_dict()).to_dict() ==
+        x.to_dict()`` is the round-trip contract.
+        """
+        schema = document.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise ConfigurationError(
+                f"cannot load result document with schema {schema!r}; "
+                f"expected {REPORT_SCHEMA!r}"
+            )
+        if document.get("kind") not in (None, "result"):
+            raise ConfigurationError(
+                f"expected a 'result' document, got kind "
+                f"{document.get('kind')!r}"
+            )
+        return cls(document["name"], document.get("params", {}),
+                   RehydratedResults(document.get("report")))
+
+    @classmethod
+    def from_json(cls, text):
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def __getattr__(self, attr):
         try:
@@ -145,22 +233,45 @@ class Experiment:
     description: str
     defaults: dict
 
-    def run(self, **overrides):
+    def run(self, request=None, **overrides):
         """Invoke the runner; returns the :class:`ExperimentResult` dict.
 
-        Unknown parameter names raise :class:`ConfigurationError` up
-        front (rather than a ``TypeError`` from deep inside a worker),
-        and overrides set to ``None`` fall back to the runner default so
-        callers can pass CLI values through unconditionally.
+        Parameters
+        ----------
+        request:
+            Optional :class:`repro.runtime.RunRequest`.  Its
+            ``seed`` / ``duration_s`` / ``fault_plan`` / extra params
+            are applied *where the runner accepts them* (a broadcast
+            context must compose with runners of differing
+            signatures), and its kernel backend is scoped around the
+            run.
+        overrides:
+            Per-run parameters, laid over the request's.  Unknown
+            names raise :class:`~repro.errors.UnknownParameterError`
+            up front (rather than a ``TypeError`` from deep inside a
+            worker); values set to ``None`` fall back to the runner
+            default so callers can pass CLI values through
+            unconditionally.
         """
         unknown = sorted(set(overrides) - set(self.defaults))
         if unknown:
-            raise ConfigurationError(
+            raise UnknownParameterError(
                 f"experiment {self.name!r} has no parameter(s) "
-                f"{', '.join(unknown)}; valid: {', '.join(self.defaults)}"
+                f"{', '.join(unknown)}; valid: {', '.join(self.defaults)}",
+                unknown=unknown, valid=tuple(self.defaults),
             )
-        kwargs = {k: v for k, v in overrides.items() if v is not None}
-        result = self.runner(**kwargs)
+        kwargs = {}
+        if request is not None:
+            kwargs.update((k, v)
+                          for k, v in request.experiment_params().items()
+                          if k in self.defaults)
+        kwargs.update(overrides)
+        kwargs = {k: v for k, v in kwargs.items() if v is not None}
+        if request is not None:
+            with request.kernel_backend_scope():
+                result = self.runner(**kwargs)
+        else:
+            result = self.runner(**kwargs)
         if not isinstance(result, ExperimentResult):
             result = ExperimentResult(self.name, kwargs, result)
         return result

@@ -15,13 +15,18 @@ makes heavy multi-scenario traffic cheap:
 * :mod:`~repro.runtime.sweeps` — :func:`sweep` expands parameter grids
   into parallel runs; :func:`lookahead_sweep` / :func:`relay_map_sweep`
   re-express Figures 16 and 19 as grids.
+* :mod:`~repro.runtime.request` — :class:`RunRequest`, the one frozen
+  context object (seed, duration, kernel backend, fault plan, obs
+  switch, worker count) accepted by ``Experiment.run``,
+  :func:`run_experiments`, and ``repro.serving``.
 
 Quick tour::
 
     from repro import runtime
 
     channels = scenario.build_channels()        # cached transparently
-    suite = runtime.run_experiments(["fig13", "timing"], jobs=2)
+    request = runtime.RunRequest(jobs=2, seed=1)
+    suite = runtime.run_experiments(["fig13", "timing"], request=request)
     print(suite.report())                       # merged obs included
 
     result = runtime.sweep("fig16",
@@ -40,12 +45,13 @@ from .cache import (
     scenario_cache_key,
     set_channel_cache,
 )
-from .executor import JobOutcome, SuiteReport, run_experiments
+from .executor import SUITE_SCHEMA, JobOutcome, SuiteReport, run_experiments
 from .merge import (
     merge_metrics_documents,
     merge_trace_documents,
     render_metrics_document,
 )
+from .request import RunRequest
 from .sweeps import (
     SweepResult,
     combined_curves,
@@ -64,9 +70,12 @@ __all__ = [
     "scenario_cache_key",
     "set_channel_cache",
     # executor
+    "SUITE_SCHEMA",
     "JobOutcome",
     "SuiteReport",
     "run_experiments",
+    # request
+    "RunRequest",
     # merge
     "merge_metrics_documents",
     "merge_trace_documents",

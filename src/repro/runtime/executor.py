@@ -8,18 +8,27 @@ whenever a pool is unavailable or ``jobs=1``, and folds each worker's
 :mod:`repro.obs` trace/metrics documents into one merged report
 (:class:`SuiteReport`).
 
+Run context travels as a :class:`~repro.runtime.request.RunRequest`:
+the request is pickled into each worker and applied *there* (seed,
+duration, fault plan, kernel backend, obs switch), so parallel workers
+see exactly the context a serial run would — the legacy
+``jobs=``/``params=``/``with_obs=`` kwargs still work but emit a
+``DeprecationWarning``.
+
 This is what backs ``repro run-all --jobs N`` and
 :func:`repro.runtime.sweep`.  Determinism: a worker runs exactly the
-same registry entry point with exactly the same params and seed as a
-serial call, so parallel results equal serial ones — the property
+same registry entry point with exactly the same params and request as
+a serial call, so parallel results equal serial ones — the property
 ``tests/test_runtime.py`` locks in.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import pickle
 import time
+import warnings
 from concurrent import futures
 
 from .. import obs
@@ -29,11 +38,16 @@ from .merge import (
     merge_trace_documents,
     render_metrics_document,
 )
+from .request import RunRequest
 
 __all__ = ["JobOutcome", "SuiteReport", "run_experiments"]
 
-#: Schema identifier of :meth:`SuiteReport.to_dict`.
-SUITE_SCHEMA = "repro.runtime.report/v1"
+#: Schema identifier of :meth:`SuiteReport.to_dict` — the ``report/v2``
+#: envelope family (shared with ``ExperimentResult``; documents carry
+#: ``kind: "suite"`` vs ``kind: "result"``).
+SUITE_SCHEMA = "repro.runtime.report/v2"
+
+_UNSET = object()
 
 
 @dataclasses.dataclass
@@ -54,12 +68,15 @@ class JobOutcome:
         return self.error is None
 
 
-def _execute_job(name, params, with_obs):
+def _execute_job(name, params, request):
     """Worker entry point (module-level so process pools can pickle it).
 
     Runs one registered experiment with a clean observability slate and
     returns a :class:`JobOutcome`; exceptions are captured as text so a
-    single failing experiment doesn't sink the whole suite.
+    single failing experiment doesn't sink the whole suite.  The
+    :class:`RunRequest` is applied *here*, inside the worker — its
+    kernel backend, seed, fault plan, and obs switch reach the run the
+    same way serial execution would apply them.
     """
     # Imported here, not at module top: worker processes pay the import
     # only when they actually run something.
@@ -71,11 +88,11 @@ def _execute_job(name, params, with_obs):
     result = None
     try:
         entry = experiments.get(name)
-        if with_obs:
+        if request.with_obs:
             with obs.enabled_scope():
-                result = entry.run(**params)
+                result = entry.run(request=request, **params)
         else:
-            result = entry.run(**params)
+            result = entry.run(request=request, **params)
     except Exception:  # noqa: BLE001 — reported, not swallowed
         import traceback
         error = traceback.format_exc()
@@ -100,6 +117,9 @@ class SuiteReport:
     jobs: int
     wall_s: float
     parallel: bool        # did the pool actually run, or the fallback?
+    request: object = None    # the RunRequest (or its dict after from_json)
+    metrics_doc: dict | None = None   # merged-doc overrides installed by
+    trace_doc: dict | None = None     # from_json (no live obs to re-merge)
 
     def results(self):
         """``name -> ExperimentResult`` for the successful runs."""
@@ -112,39 +132,118 @@ class SuiteReport:
     @property
     def merged_metrics(self):
         """All workers' metrics as one ``repro.obs.metrics/v1`` doc."""
+        if self.metrics_doc is not None:
+            return self.metrics_doc
         return merge_metrics_documents(o.metrics for o in self.outcomes)
 
     @property
     def merged_trace(self):
         """All workers' spans as one ``repro.obs.trace/v1`` forest."""
+        if self.trace_doc is not None:
+            return self.trace_doc
         return merge_trace_documents(
             (o.name, o.trace) for o in self.outcomes)
 
-    def to_dict(self):
-        """JSON-able ``repro.runtime.report/v1`` suite document.
+    def _request_doc(self):
+        if self.request is None:
+            return None
+        if hasattr(self.request, "to_dict"):
+            return self.request.to_dict()
+        return dict(self.request)
 
-        Carries each run's envelope metadata and report text (the rich
-        result objects hold numpy arrays and stay in :attr:`outcomes`).
+    def to_dict(self):
+        """JSON-able ``report/v2`` suite document.
+
+        Each run record is the run's ``report/v2`` result document
+        (envelope metadata + report text) extended with the suite-level
+        ``wall_s``/``ok``/``error`` fields; the rich result objects
+        hold numpy arrays and stay in :attr:`outcomes`.
         """
         runs = []
         for o in self.outcomes:
-            runs.append({
-                "name": o.name,
-                "params": (o.result["params"] if o.ok else o.params),
-                "wall_s": o.wall_s,
-                "ok": o.ok,
-                "report": (o.result.report() if o.ok else None),
-                "error": o.error,
-            })
+            if o.ok:
+                record = o.result.to_dict()
+            else:
+                record = {
+                    "schema": SUITE_SCHEMA,
+                    "kind": "result",
+                    "name": o.name,
+                    "params": o.params,
+                    "report": None,
+                }
+            record.update(wall_s=o.wall_s, ok=o.ok, error=o.error)
+            runs.append(record)
         return {
             "schema": SUITE_SCHEMA,
+            "kind": "suite",
             "jobs": self.jobs,
             "parallel": self.parallel,
             "wall_s": self.wall_s,
+            "request": self._request_doc(),
             "runs": runs,
             "metrics": self.merged_metrics,
             "trace": self.merged_trace,
         }
+
+    def to_json(self, **kwargs):
+        """:meth:`to_dict` as a JSON string (kwargs go to ``json.dumps``)."""
+        kwargs.setdefault("default", str)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, document):
+        """Rebuild a report from a ``report/v2`` suite document.
+
+        Result envelopes come back with
+        :class:`~repro.eval.experiments.registry.RehydratedResults`
+        placeholders (report text only); per-outcome obs documents are
+        gone, but the merged metrics/trace are restored, so
+        ``from_dict(x.to_dict()).to_dict() == x.to_dict()``.
+        """
+        from ..eval.experiments.registry import ExperimentResult
+
+        schema = document.get("schema")
+        if schema != SUITE_SCHEMA:
+            raise ConfigurationError(
+                f"cannot load suite document with schema {schema!r}; "
+                f"expected {SUITE_SCHEMA!r}"
+            )
+        if document.get("kind") not in (None, "suite"):
+            raise ConfigurationError(
+                f"expected a 'suite' document, got kind "
+                f"{document.get('kind')!r}"
+            )
+        outcomes = []
+        for record in document.get("runs", []):
+            ok = bool(record.get("ok"))
+            result = None
+            if ok:
+                envelope = {k: v for k, v in record.items()
+                            if k not in ("wall_s", "ok", "error")}
+                result = ExperimentResult.from_dict(envelope)
+            outcomes.append(JobOutcome(
+                name=record["name"],
+                params=dict(record.get("params") or {}),
+                result=result,
+                trace={},
+                metrics={},
+                wall_s=float(record.get("wall_s", 0.0)),
+                error=record.get("error"),
+            ))
+        return cls(
+            outcomes=outcomes,
+            jobs=int(document.get("jobs", 1)),
+            wall_s=float(document.get("wall_s", 0.0)),
+            parallel=bool(document.get("parallel", False)),
+            request=document.get("request"),
+            metrics_doc=document.get("metrics"),
+            trace_doc=document.get("trace"),
+        )
+
+    @classmethod
+    def from_json(cls, text):
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def report(self):
         """Terminal summary: per-run wall times plus merged metrics."""
@@ -163,13 +262,38 @@ class SuiteReport:
         return "\n".join(lines)
 
 
-def _run_serial(jobs_list, with_obs):
-    return [_execute_job(name, params, with_obs)
+def _run_serial(jobs_list, request):
+    return [_execute_job(name, params, request)
             for name, params in jobs_list]
 
 
-def run_experiments(names, jobs=1, params=None, per_experiment=None,
-                    with_obs=True):
+def _resolve_request(request, jobs, params, with_obs):
+    """Fold the legacy kwargs into one :class:`RunRequest`."""
+    legacy = {name: value
+              for name, value in (("jobs", jobs), ("params", params),
+                                  ("with_obs", with_obs))
+              if value is not _UNSET}
+    if not legacy:
+        return request if request is not None else RunRequest()
+    if request is not None:
+        raise ConfigurationError(
+            "pass either request= or the legacy kwargs, not both "
+            f"(got request plus {', '.join(sorted(legacy))})"
+        )
+    warnings.warn(
+        "run_experiments(jobs=/params=/with_obs=) is deprecated; pass "
+        "request=repro.runtime.RunRequest(...) instead",
+        DeprecationWarning, stacklevel=3,
+    )
+    return RunRequest(
+        jobs=legacy.get("jobs", 1),
+        with_obs=bool(legacy.get("with_obs", True)),
+        params=legacy.get("params") or {},
+    )
+
+
+def run_experiments(names, request=None, jobs=_UNSET, params=_UNSET,
+                    per_experiment=None, with_obs=_UNSET):
     """Run several experiments, optionally in parallel processes.
 
     Parameters
@@ -178,34 +302,34 @@ def run_experiments(names, jobs=1, params=None, per_experiment=None,
         Iterable of registry names, or ``(name, params)`` pairs for
         per-run params (duplicates allowed — a sweep runs the same
         experiment at many parameter points).
-    jobs:
-        Worker process count; ``1`` runs serially in-process.  More
-        workers than experiments is trimmed to the experiment count.
-    params:
-        Base params applied to every run (e.g. ``duration_s``/``seed``
-        from the CLI).  ``None`` values are dropped by the registry.
+    request:
+        A :class:`~repro.runtime.request.RunRequest` carrying the run
+        context: worker count (``request.jobs``; ``1`` runs serially
+        in-process), seed/duration/fault plan/extra params broadcast
+        to every run (applied where each runner accepts them), the
+        kernel backend, and the obs switch.  ``None`` means the
+        default request.
     per_experiment:
-        ``name -> params dict`` merged over ``params`` per run.
-    with_obs:
-        Record :mod:`repro.obs` traces/metrics around each run and
-        merge them into the report.
+        ``name -> params dict`` merged per run (these are strict: an
+        unknown name raises ``UnknownParameterError``).
+    jobs / params / with_obs:
+        Deprecated — the pre-``RunRequest`` spelling of the same
+        context.  Still honored (folded into a request) with a
+        ``DeprecationWarning``; mutually exclusive with ``request=``.
 
     Returns a :class:`SuiteReport`.  If the process pool cannot be used
     (pickling limits, a broken pool, a sandboxed platform), the
     remaining work falls back to the serial path — results are
     identical either way, only the wall clock differs.
     """
-    if jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    base = dict(params or {})
+    request = _resolve_request(request, jobs, params, with_obs)
     jobs_list = []
     for item in names:
         if isinstance(item, str):
             name, own = item, {}
         else:
             name, own = item
-        merged = dict(base)
-        merged.update((per_experiment or {}).get(name, {}))
+        merged = dict((per_experiment or {}).get(name, {}))
         merged.update(own)
         jobs_list.append((name, merged))
 
@@ -216,10 +340,10 @@ def run_experiments(names, jobs=1, params=None, per_experiment=None,
         experiments.get(name)
 
     started = time.perf_counter()
-    n_workers = min(jobs, max(len(jobs_list), 1))
+    n_workers = min(request.jobs, max(len(jobs_list), 1))
     parallel = n_workers > 1
     if not parallel:
-        outcomes = _run_serial(jobs_list, with_obs)
+        outcomes = _run_serial(jobs_list, request)
     else:
         try:
             with futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
@@ -227,17 +351,18 @@ def run_experiments(names, jobs=1, params=None, per_experiment=None,
                     _execute_job,
                     [name for name, __ in jobs_list],
                     [p for __, p in jobs_list],
-                    [with_obs] * len(jobs_list),
+                    [request] * len(jobs_list),
                 ))
         except (futures.BrokenExecutor, pickle.PicklingError, OSError,
                 ImportError):
             # No usable pool on this platform — same work, one process.
             parallel = False
-            outcomes = _run_serial(jobs_list, with_obs)
+            outcomes = _run_serial(jobs_list, request)
 
     return SuiteReport(
         outcomes=outcomes,
-        jobs=jobs,
+        jobs=request.jobs,
         wall_s=time.perf_counter() - started,
         parallel=parallel,
+        request=request,
     )

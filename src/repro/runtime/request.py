@@ -1,0 +1,153 @@
+"""RunRequest — the one context object a run is asked *with*.
+
+Before this module existed, run context leaked through three side
+channels: ad-hoc ``**overrides`` kwargs on :meth:`Experiment.run`, a
+``params`` dict threaded through :func:`run_experiments`, and the
+``REPRO_KERNEL_BACKEND`` environment variable mutated by the CLI so
+worker processes would inherit it.  A :class:`RunRequest` replaces all
+three: it names the seed, the duration, the kernel backend, the fault
+plan, the observability switch, and the worker count in one frozen,
+picklable value that travels *with* the job — into
+:meth:`repro.eval.experiments.registry.Experiment.run`,
+:func:`repro.runtime.run_experiments` workers, and
+:meth:`repro.serving.SessionManager.submit` alike.
+
+Determinism contract: two identical requests produce bit-identical
+results regardless of ``jobs`` — the request is applied inside the
+worker (see :func:`RunRequest.kernel_backend_scope`), not smuggled via
+process-global state, so serial and parallel execution see the same
+context.  ``tests/test_runtime.py`` locks this in end-to-end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+
+from ..errors import ConfigurationError
+
+__all__ = ["RunRequest"]
+
+
+def _frozen_params(params):
+    """Params as a sorted, hashable tuple of pairs (dataclass-friendly)."""
+    if params is None:
+        return ()
+    if isinstance(params, tuple):
+        params = dict(params)
+    return tuple(sorted(params.items()))
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRequest:
+    """Everything a caller wants to say about *how* to run something.
+
+    All fields are optional; an empty request means "the defaults".
+    The object is frozen and picklable, so it can ride into process-pool
+    workers unchanged.
+
+    Attributes
+    ----------
+    seed:
+        Random seed forwarded to runners that accept one.
+    duration_s:
+        Simulated seconds forwarded to runners that accept it.
+    kernel_backend:
+        Adaptive-kernel backend name (``"loop"`` / ``"vector"``);
+        applied around the run via :meth:`kernel_backend_scope`, so it
+        reaches every engine without per-engine plumbing.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` forwarded to runners (and
+        serving sessions) that accept one.
+    with_obs:
+        Record :mod:`repro.obs` traces/metrics around the run.
+    jobs:
+        Worker-process count for suite-level calls
+        (:func:`run_experiments`); ignored by single runs.
+    params:
+        Extra runner parameters, stored as a sorted tuple of
+        ``(name, value)`` pairs (pass a dict; it is frozen on init).
+    """
+
+    seed: int | None = None
+    duration_s: float | None = None
+    kernel_backend: str | None = None
+    fault_plan: object | None = None
+    with_obs: bool = True
+    jobs: int = 1
+    params: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", _frozen_params(self.params))
+        if self.jobs < 1:
+            raise ConfigurationError(
+                f"RunRequest.jobs must be >= 1, got {self.jobs}"
+            )
+        if self.kernel_backend is not None:
+            # Validate eagerly — a typo should fail at request build
+            # time, not inside a worker process.
+            from ..core.adaptive import kernels
+
+            kernels.resolve_backend_name(self.kernel_backend)
+
+    def replace(self, **changes):
+        """A copy with some fields changed (dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+    def experiment_params(self):
+        """The runner-parameter dict this request contributes.
+
+        ``seed`` / ``duration_s`` / ``fault_plan`` are included only
+        when set, then :attr:`params` entries are laid on top — so a
+        generic request composes with per-run parameter points the way
+        ``run_experiments`` merges its own layers.
+        """
+        merged = {}
+        if self.seed is not None:
+            merged["seed"] = self.seed
+        if self.duration_s is not None:
+            merged["duration_s"] = self.duration_s
+        if self.fault_plan is not None:
+            merged["fault_plan"] = self.fault_plan
+        merged.update(dict(self.params))
+        return merged
+
+    @contextlib.contextmanager
+    def kernel_backend_scope(self):
+        """Apply :attr:`kernel_backend` for the duration of a run.
+
+        Implemented over the ``REPRO_KERNEL_BACKEND`` environment
+        variable because that is the one injection point every engine
+        already consults — but scoped and restored, unlike the CLI's
+        old permanent ``os.environ`` write.  A ``None`` backend is a
+        no-op scope.
+        """
+        from ..core.adaptive import kernels
+
+        if self.kernel_backend is None:
+            yield
+            return
+        previous = os.environ.get(kernels.ENV_VAR)
+        os.environ[kernels.ENV_VAR] = self.kernel_backend
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(kernels.ENV_VAR, None)
+            else:
+                os.environ[kernels.ENV_VAR] = previous
+
+    def to_dict(self):
+        """JSON-able summary (the fault plan appears as its plan key)."""
+        plan = self.fault_plan
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "kernel_backend": self.kernel_backend,
+            "fault_plan": (None if plan is None
+                           else getattr(plan, "plan_key", lambda: repr(plan))()),
+            "with_obs": self.with_obs,
+            "jobs": self.jobs,
+            "params": {k: v for k, v in self.params},
+        }

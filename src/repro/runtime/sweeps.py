@@ -22,6 +22,7 @@ import itertools
 
 from ..errors import ConfigurationError
 from .executor import run_experiments
+from .request import RunRequest
 
 __all__ = [
     "SweepResult",
@@ -64,7 +65,8 @@ class SweepResult:
         return "\n".join(lines) + "\n\n" + self.suite.report()
 
 
-def sweep(experiment, grid, jobs=1, base_params=None, with_obs=True):
+def sweep(experiment, grid, jobs=1, base_params=None, with_obs=True,
+          request=None):
     """Run ``experiment`` at every point of a parameter grid.
 
     Parameters
@@ -78,6 +80,10 @@ def sweep(experiment, grid, jobs=1, base_params=None, with_obs=True):
         Worker processes for the underlying executor.
     base_params:
         Params common to every point (seed, duration, scenario...).
+    request:
+        Optional :class:`~repro.runtime.request.RunRequest` carrying
+        the full run context; ``jobs``/``base_params``/``with_obs``
+        are folded into it when it is omitted.
 
     Returns a :class:`SweepResult` whose ``runs`` align with the grid
     expansion order.
@@ -94,12 +100,12 @@ def sweep(experiment, grid, jobs=1, base_params=None, with_obs=True):
 
     # One job per grid point; per-point params ride on the job list, so
     # duplicate names are fine.
-    base = dict(base_params or {})
+    if request is None:
+        request = RunRequest(jobs=jobs, with_obs=with_obs,
+                             params=base_params or {})
     suite = run_experiments(
         [(name, point) for point in points],
-        jobs=jobs,
-        params=base,
-        with_obs=with_obs,
+        request=request,
     )
 
     failures = suite.failures()

@@ -1,0 +1,271 @@
+"""Device sessions: the per-user unit the serving runtime advances.
+
+One :class:`DeviceSession` is one MUTE ear-device being served: its
+workload (the aligned reference the relay delivers and the disturbance
+at the error mic), its adaptive state (a :class:`LancFilter` plus a
+streaming :class:`KernelState`), and its own
+:class:`~repro.faults.DegradationController` watching the reference it
+actually received — faults are injected per session through a
+:class:`~repro.faults.FaultyRelay`, so one user behind a failing relay
+degrades (mute → feedback → passive) without the server treating the
+whole batch as sick.
+
+Sessions are deliberately *passive* here: all scheduling (admission,
+lock-step blocks, batching) lives in
+:class:`~repro.serving.server.SessionServer`.  What a session owns is
+exactly the state that must survive between blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from ..core.adaptive import kernels
+from ..core.adaptive.lanc import LancFilter
+from ..errors import ConfigurationError
+from ..faults import DegradationController, FaultyRelay
+from ..signals import WhiteNoise
+from ..utils.validation import check_positive, check_positive_int, \
+    check_waveform
+
+__all__ = [
+    "PENDING",
+    "ACTIVE",
+    "DONE",
+    "FAILED",
+    "SHED",
+    "SessionConfig",
+    "SessionWorkload",
+    "SessionResult",
+    "DeviceSession",
+]
+
+#: Session lifecycle states.
+PENDING = "pending"    #: submitted, waiting for admission
+ACTIVE = "active"      #: admitted, advancing block by block
+DONE = "done"          #: workload fully processed
+FAILED = "failed"      #: isolated after kernel divergence
+SHED = "shed"          #: evicted under overload before ever running
+
+
+def _default_secondary_path():
+    """A short speaker→error-mic impulse response (2-sample bulk delay)."""
+    s = np.zeros(8)
+    s[2] = 1.0
+    s[3] = 0.25
+    return s
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionConfig:
+    """Adaptive-filter geometry shared by the sessions of one server.
+
+    The batched kernel requires homogeneous geometry
+    (``n_future``/``n_past``/secondary-path length) across a batch;
+    ``mu``/``normalized``/``leak`` ride along per session.
+    """
+
+    n_future: int = 32
+    n_past: int = 192
+    mu: float = 0.3
+    normalized: bool = True
+    leak: float = 0.0
+    secondary_path: tuple = tuple(_default_secondary_path())
+    sample_rate: float = 8000.0
+
+    def secondary(self):
+        """The secondary path as an ndarray."""
+        return np.asarray(self.secondary_path, dtype=np.float64)
+
+    def geometry_key(self):
+        """Hashable batch-compatibility key (what must match to stack)."""
+        return (self.n_future, self.n_past, len(self.secondary_path),
+                bool(self.normalized), float(self.leak))
+
+
+@dataclasses.dataclass
+class SessionWorkload:
+    """One user's signals: the relay reference and the ear disturbance.
+
+    ``reference`` must be aligned to the error-mic time base (the usual
+    LANC contract); the server truncates both waveforms to a whole
+    number of blocks — lock-step batches never process ragged tails.
+    """
+
+    name: str
+    reference: np.ndarray
+    disturbance: np.ndarray
+    fault_plan: object | None = None
+
+    def __post_init__(self):
+        self.reference = check_waveform("reference", self.reference)
+        self.disturbance = check_waveform("disturbance", self.disturbance)
+        if self.reference.size != self.disturbance.size:
+            raise ConfigurationError(
+                "reference and disturbance must have equal length; got "
+                f"{self.reference.size} vs {self.disturbance.size}"
+            )
+
+    @classmethod
+    def synthetic(cls, name, duration_s=1.0, seed=0, sample_rate=8000.0,
+                  level_rms=0.2, fault_plan=None):
+        """A deterministic per-user workload for benchmarks and tests.
+
+        White noise through a small primary path — each session gets an
+        independent stream (seeded by ``seed``), so a batch is N
+        *different* users, not N copies of one.
+        """
+        check_positive("duration_s", duration_s)
+        x = WhiteNoise(sample_rate=sample_rate, seed=seed,
+                       level_rms=level_rms).generate(duration_s)
+        primary = np.array([0.0] * 12 + [0.5])
+        d = np.convolve(x, primary)[:x.size]
+        return cls(name=name, reference=x, disturbance=d,
+                   fault_plan=fault_plan)
+
+
+@dataclasses.dataclass
+class SessionResult:
+    """What one finished (or isolated) session produced."""
+
+    session_id: int
+    name: str
+    status: str
+    blocks: int                    #: blocks actually processed
+    residual: np.ndarray           #: error-mic samples, processed blocks
+    disturbance: np.ndarray        #: matching disturbance samples
+    mode_fractions: dict           #: degradation-mode occupancy
+    transitions: int               #: degradation mode changes
+    error: str | None = None      #: isolation reason for FAILED sessions
+
+    def digest(self):
+        """SHA-256 of the residual bytes — the bit-identity fingerprint."""
+        return hashlib.sha256(
+            np.ascontiguousarray(self.residual, dtype=np.float64).tobytes()
+        ).hexdigest()
+
+    def cancellation_db(self):
+        """Mean cancellation over the processed samples (dB, >0 = good)."""
+        if self.residual.size == 0:
+            return 0.0
+        p_res = float(np.mean(np.square(self.residual)))
+        p_dist = float(np.mean(np.square(self.disturbance)))
+        if p_res <= 0.0 or p_dist <= 0.0:
+            return 0.0
+        return 10.0 * float(np.log10(p_dist / p_res))
+
+
+class _PassthroughRelay:
+    """Identity relay — lets :class:`FaultyRelay` own every fault branch."""
+
+    def forward(self, audio):
+        return audio
+
+
+class DeviceSession:
+    """One admitted MUTE device: adaptive state + health watchdog.
+
+    Parameters
+    ----------
+    session_id:
+        Server-assigned ordinal (stable across serial/batched runs).
+    workload:
+        The user's :class:`SessionWorkload`; its ``fault_plan`` (if
+        any) is applied to the *reference* on construction — the
+        reference the session adapts on is what the faulty relay
+        delivered, exactly like a real degraded link.
+    config:
+        The server's :class:`SessionConfig`.
+    block_size:
+        The server's lock-step block length (workload truncated to a
+        whole number of blocks).
+    """
+
+    def __init__(self, session_id, workload, config, block_size):
+        self.session_id = int(session_id)
+        self.workload = workload
+        self.config = config
+        self.block_size = check_positive_int("block_size", block_size)
+        self.status = PENDING
+        self.error = None
+
+        reference = workload.reference
+        if workload.fault_plan is not None \
+                and not workload.fault_plan.empty:
+            relay = FaultyRelay(_PassthroughRelay(), workload.fault_plan,
+                                sample_rate=config.sample_rate)
+            reference = relay.forward(reference)
+        self.n_blocks = reference.size // self.block_size
+        span = self.n_blocks * self.block_size
+        self.reference = reference[:span]
+        self.disturbance = workload.disturbance[:span]
+
+        self.filter = LancFilter(
+            n_future=config.n_future, n_past=config.n_past,
+            secondary_path=config.secondary(), mu=config.mu,
+            normalized=config.normalized, leak=config.leak,
+        )
+        self.controller = DegradationController(
+            self.filter, sample_rate=config.sample_rate)
+        # The kernel state is fed the delivered reference up front plus
+        # the trailing lookahead zeros the final block's windows read.
+        self.state = kernels.KernelState.streaming(
+            config.n_future, config.n_past, config.secondary())
+        self.state.extend(np.concatenate(
+            [self.reference, np.zeros(config.n_future)]))
+        self.block_index = 0
+        self._residuals = []
+
+    @property
+    def done(self):
+        """No more whole blocks to process?"""
+        return self.block_index >= self.n_blocks
+
+    def next_block(self):
+        """``(reference_block, disturbance_block)`` for the next block."""
+        lo = self.block_index * self.block_size
+        hi = lo + self.block_size
+        return self.reference[lo:hi], self.disturbance[lo:hi]
+
+    def gates(self):
+        """Observe the upcoming reference block; return ``(adapt, active)``.
+
+        This is the fault-isolation hook: the controller sees what the
+        (possibly faulty) relay delivered for *this* session and gates
+        only this session's row of the batch.
+        """
+        ref_block, __ = self.next_block()
+        mode = self.controller.observe(
+            ref_block, self.block_index * self.block_size)
+        return self.controller.gates(mode)
+
+    def record_block(self, errors):
+        """Bank one processed block of residual and advance the cursor."""
+        self._residuals.append(np.asarray(errors, dtype=np.float64))
+        self.block_index += 1
+        if self.done and self.status == ACTIVE:
+            self.status = DONE
+
+    def fail(self, reason):
+        """Isolate the session after divergence; the batch moves on."""
+        self.status = FAILED
+        self.error = str(reason)
+
+    def result(self):
+        """The session's :class:`SessionResult` (any status)."""
+        residual = (np.concatenate(self._residuals) if self._residuals
+                    else np.zeros(0))
+        return SessionResult(
+            session_id=self.session_id,
+            name=self.workload.name,
+            status=self.status,
+            blocks=self.block_index,
+            residual=residual,
+            disturbance=self.disturbance[:residual.size],
+            mode_fractions=self.controller.mode_fractions(),
+            transitions=len(self.controller.transitions),
+            error=self.error,
+        )

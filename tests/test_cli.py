@@ -89,7 +89,7 @@ class TestRunAll:
         code = main(["run-all", "--out", str(path), "timing"], out=out)
         assert code == 0
         document = json.loads(path.read_text())
-        assert document["schema"] == "repro.runtime.report/v1"
+        assert document["schema"] == "repro.runtime.report/v2"
         assert [run["name"] for run in document["runs"]] == ["timing"]
         assert document["runs"][0]["ok"] is True
         assert "metrics" in document and "trace" in document

@@ -486,12 +486,12 @@ class TestResilienceExperiment:
     def test_serial_equals_parallel(self):
         from repro import runtime
 
-        params = {"duration_s": 1.5, "seed": 0,
-                  "outage_fractions": (0.0, 0.3), "loss_rates": ()}
-        serial = runtime.run_experiments(["resilience"], jobs=1,
-                                         params=params, with_obs=False)
-        parallel = runtime.run_experiments(["resilience"], jobs=2,
-                                           params=params, with_obs=False)
+        request = runtime.RunRequest(
+            duration_s=1.5, seed=0, with_obs=False,
+            params={"outage_fractions": (0.0, 0.3), "loss_rates": ()})
+        serial = runtime.run_experiments(["resilience"], request=request)
+        parallel = runtime.run_experiments(["resilience"],
+                                           request=request.replace(jobs=2))
         a = serial.results()["resilience"]
         b = parallel.results()["resilience"]
         assert a.outage_curve == b.outage_curve
