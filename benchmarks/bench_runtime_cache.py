@@ -70,9 +70,10 @@ def measure_cache(warm_rounds=5):
 
 def measure_suite(jobs=4):
     """Serial vs ``jobs``-worker wall time for the same fast suite."""
-    params = {"duration_s": 1.0, "seed": 0}
-    serial = runtime.run_experiments(SUITE, jobs=1, params=params)
-    parallel = runtime.run_experiments(SUITE, jobs=jobs, params=params)
+    request = runtime.RunRequest(duration_s=1.0, seed=0)
+    serial = runtime.run_experiments(SUITE, request=request)
+    parallel = runtime.run_experiments(SUITE,
+                                       request=request.replace(jobs=jobs))
     equal = all(
         serial.results()[name].report() == parallel.results()[name].report()
         for name in SUITE

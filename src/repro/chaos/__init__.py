@@ -1,0 +1,62 @@
+"""repro.chaos — deterministic chaos testing of the serving runtime.
+
+The fault layer (:mod:`repro.faults`) breaks the *signal*; this package
+breaks the *process*: scheduled session crashes
+(:class:`~repro.errors.InjectedCrashError`) and deadline stalls,
+injected into :mod:`repro.serving` to prove the crash-safety layer —
+checkpoints, supervised restarts, circuit breakers — actually holds.
+Full guide: ``docs/RESILIENCE.md``.
+
+Two modules:
+
+* :mod:`~repro.chaos.plan` — :class:`ChaosPlan` (frozen,
+  content-addressed crash/stall schedules, the
+  :class:`~repro.faults.FaultPlan` of the process domain) and
+  :class:`SessionChaosInjector` (the per-session applicator with
+  one-shot, replay-safe semantics);
+* :mod:`~repro.chaos.soak` — :func:`run_soak`: baseline the fleet,
+  re-serve it under chaos, and verify every session ends recovered
+  **bit-identically** or deliberately shed; emits the
+  ``repro.chaos.soak/v1`` JSON report.
+
+Minimal soak::
+
+    from repro import chaos
+
+    report = chaos.run_soak(sessions=6, duration_s=0.3, seed=7)
+    assert report.ok()
+    print(report.report())
+
+``python -m repro chaos-soak`` drives the same loop from the CLI (CI
+runs it as a smoke job and uploads the JSON report); the ``chaos``
+experiment wraps it for the experiment registry and the runtime
+executor.
+
+Layering note: :mod:`repro.serving` never imports this package — a
+session carries its injector as an opaque duck-typed attachment, so
+the serving layer stays chaos-agnostic.
+"""
+
+from __future__ import annotations
+
+from .plan import (
+    ChaosEvent,
+    ChaosPlan,
+    CrashAt,
+    SessionChaosInjector,
+    StallAt,
+    soak_plans,
+)
+from .soak import SOAK_SCHEMA, SoakReport, run_soak
+
+__all__ = [
+    "ChaosEvent",
+    "CrashAt",
+    "StallAt",
+    "ChaosPlan",
+    "SessionChaosInjector",
+    "soak_plans",
+    "SOAK_SCHEMA",
+    "SoakReport",
+    "run_soak",
+]

@@ -36,6 +36,16 @@ Subcommands
         python -m repro serve-bench --sessions 8 --duration 0.3 --check
         python -m repro serve-bench --sessions 64 --out serving.json
 
+``chaos-soak``
+    Soak the crash-safe serving layer (:mod:`repro.chaos`): serve a
+    fleet under injected crashes and deadline stalls, verify every
+    session ends warm-restored bit-identically or deliberately shed,
+    and print (or write) the ``repro.chaos.soak/v1`` report — exit 1
+    if any invariant broke (the CI chaos smoke)::
+
+        python -m repro chaos-soak --sessions 6 --duration 0.3
+        python -m repro chaos-soak --json --out soak.json
+
 ``obs-report``
     Run the headline office scenario with observability
     (:mod:`repro.obs`) enabled and print the span tree, the metrics
@@ -130,6 +140,30 @@ def build_parser():
     serve.add_argument("--out", default=None, metavar="PATH",
                        help="write the repro.runtime.report/v2 serving "
                             "JSON document to PATH")
+
+    soak = sub.add_parser(
+        "chaos-soak",
+        help="crash a serving fleet on purpose and verify recovery",
+    )
+    soak.add_argument("--sessions", type=int, default=6, metavar="N",
+                      help="concurrent device sessions (default 6)")
+    soak.add_argument("--duration", type=float, default=0.3,
+                      help="simulated seconds per session (default 0.3)")
+    soak.add_argument("--block", type=int, default=128,
+                      help="lock-step block size in samples (default 128)")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="root seed for workloads and chaos (default 0)")
+    soak.add_argument("--serial", action="store_true",
+                      help="serial scheduling instead of batched")
+    soak.add_argument("--crash-prob", type=float, default=0.5,
+                      help="per-session crash probability (default 0.5)")
+    soak.add_argument("--stall-prob", type=float, default=0.5,
+                      help="per-session stall probability (default 0.5)")
+    soak.add_argument("--json", action="store_true",
+                      help="emit the repro.chaos.soak/v1 JSON document "
+                           "instead of text")
+    soak.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the JSON document to PATH")
 
     obs_report = sub.add_parser(
         "obs-report",
@@ -266,6 +300,56 @@ def _run_serve_bench(args, out):
     return code
 
 
+def _run_chaos_soak(args, out):
+    """The ``chaos-soak`` subcommand: injected crashes, verified recovery.
+
+    Runs :func:`repro.chaos.run_soak` with obs enabled (so the
+    ``serving.recovery.*`` counters are exercised) and exits non-zero
+    when any crash-safety invariant — accounted sessions, bit-identical
+    warm restores, clean statuses — fails to hold.
+    """
+    from . import chaos
+
+    if args.sessions < 1:
+        print("chaos-soak: --sessions must be >= 1", file=out)
+        return 2
+    if args.duration <= 0:
+        print("chaos-soak: --duration must be > 0", file=out)
+        return 2
+    if args.block < 1:
+        print("chaos-soak: --block must be >= 1", file=out)
+        return 2
+    if not 0.0 <= args.crash_prob <= 1.0 \
+            or not 0.0 <= args.stall_prob <= 1.0:
+        print("chaos-soak: probabilities must be in [0, 1]", file=out)
+        return 2
+
+    obs.reset()
+    with obs.enabled_scope():
+        report = chaos.run_soak(
+            sessions=args.sessions, duration_s=args.duration,
+            block_size=args.block, seed=args.seed,
+            batched=not args.serial, crash_prob=args.crash_prob,
+            stall_prob=args.stall_prob,
+        )
+
+    document = report.to_dict() if (args.json or args.out) else None
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, indent=2, default=str)
+        except OSError as exc:
+            print(f"chaos-soak: cannot write {args.out}: {exc}", file=out)
+            return 2
+    if args.json:
+        print(json.dumps(document, indent=2, default=str), file=out)
+    else:
+        print(report.report(), file=out)
+        if args.out:
+            print(f"[JSON soak report written to {args.out}]", file=out)
+    return 0 if report.ok() else 1
+
+
 def _run_obs_report(args, out):
     """The ``obs-report`` subcommand: one traced headline-scenario run.
 
@@ -366,6 +450,10 @@ def main(argv=None, out=None):
     if args.command == "serve-bench":
         with backend_request.kernel_backend_scope():
             return _run_serve_bench(args, out)
+
+    if args.command == "chaos-soak":
+        with backend_request.kernel_backend_scope():
+            return _run_chaos_soak(args, out)
 
     if args.command == "run-all":
         try:

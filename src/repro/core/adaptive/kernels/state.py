@@ -163,6 +163,62 @@ class KernelState:
         """Number of reference samples delivered so far."""
         return self.x.size
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """The complete mutable signal state, as private array copies.
+
+        Everything a mid-run kernel state owns beyond its construction
+        parameters: the delivered reference and its filtered-x
+        companion, the processed-sample clock, the ringing anti-noise
+        buffer, and the ``lfilter`` carry.  Restoring the returned
+        mapping with :meth:`restore` on an identically constructed
+        state resumes processing **bit-identically** — the contract the
+        serving checkpoint layer (``repro.serving.checkpoint``) builds
+        on, property-tested in ``tests/test_checkpoint.py`` across
+        both kernel backends.
+        """
+        return {
+            "x": self.x.copy(),
+            "xf": self.xf.copy(),
+            "time": int(self.time),
+            "y_recent": self.y_recent.copy(),
+            "zi": self._zi.copy(),
+        }
+
+    def restore(self, snapshot):
+        """Apply a :meth:`snapshot` taken from an equivalent state.
+
+        The state must have been constructed with the same geometry
+        (``n_future``/``n_past``) and secondary paths as the snapshot's
+        origin; only the mutable signal state is replaced.  Batch-mode
+        states are rejected — their arrays are construction inputs, not
+        evolving state.
+        """
+        if self.mode != "streaming":
+            raise ConfigurationError(
+                "restore() is only valid on a streaming KernelState"
+            )
+        y_recent = np.asarray(snapshot["y_recent"], dtype=np.float64)
+        if y_recent.shape != self.y_recent.shape:
+            raise ConfigurationError(
+                f"snapshot y_recent has shape {y_recent.shape}; this "
+                f"state expects {self.y_recent.shape} "
+                "(secondary-path length mismatch)"
+            )
+        zi = np.asarray(snapshot["zi"], dtype=np.float64)
+        if zi.shape != self._zi.shape:
+            raise ConfigurationError(
+                f"snapshot zi has shape {zi.shape}; this state expects "
+                f"{self._zi.shape} (secondary-estimate length mismatch)"
+            )
+        self.x = np.asarray(snapshot["x"], dtype=np.float64).copy()
+        self.xf = np.asarray(snapshot["xf"], dtype=np.float64).copy()
+        self.time = int(snapshot["time"])
+        self.y_recent = y_recent.copy()
+        self._zi = zi.copy()
+
     def peek_future(self, n_samples):
         """The next ``n_samples`` of not-yet-processed reference."""
         start = self.time

@@ -21,6 +21,8 @@ __all__ = [
     "LookaheadError",
     "RelaySelectionError",
     "ServingOverloadError",
+    "CheckpointError",
+    "InjectedCrashError",
 ]
 
 
@@ -87,4 +89,28 @@ class ServingOverloadError(ReproError, RuntimeError):
     Raised by :meth:`repro.serving.SessionManager.submit` under the
     ``"reject"`` shed policy when both the active set and the pending
     queue are full — the serving layer's explicit backpressure signal.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A session checkpoint could not be written, read, or applied.
+
+    Note that a *corrupt* stored checkpoint never raises on the read
+    path — :meth:`repro.serving.CheckpointStore.latest` skips damaged
+    snapshots and falls back to the newest intact one (or a cold
+    restart).  This error flags caller mistakes: checkpointing a
+    session whose geometry does not match the payload, or restoring
+    into the wrong workload.
+    """
+
+
+class InjectedCrashError(ReproError, RuntimeError):
+    """A deliberate crash injected by the chaos harness.
+
+    Raised by :class:`repro.chaos.SessionChaosInjector` at a scheduled
+    block so the serving supervisor's catch/restore path is exercised
+    by a *typed*, attributable failure.  A supervised server treats it
+    exactly like any other per-session exception; an unsupervised
+    server lets it propagate (chaos without supervision is a
+    configuration mistake worth failing loudly on).
     """

@@ -27,6 +27,7 @@ from .common import (
 )
 from .convergence import ConvergenceResult, run_convergence
 from .fig06_profiles import Fig6Result, run_fig6
+from .ext_chaos import ChaosResult, run_chaos
 from .ext_ear_model import EarModelResult, run_ear_model
 from .ext_edge import EdgeResult, run_edge
 from .ext_mobility import MobilityResult, run_mobility
@@ -79,6 +80,8 @@ _CATALOG = (
      "extension: fault injection & graceful degradation"),
     ("serving", run_serving,
      "extension: multi-session serving runtime (batched kernels)"),
+    ("chaos", run_chaos,
+     "extension: chaos soak of the crash-safe serving layer"),
 )
 
 for _name, _runner, _description in _CATALOG:
@@ -100,6 +103,8 @@ __all__ = [
     "build_system",
     "default_config",
     "standard_sources",
+    "ChaosResult",
+    "run_chaos",
     "ConvergenceResult",
     "run_convergence",
     "Fig6Result",

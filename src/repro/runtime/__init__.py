@@ -11,7 +11,10 @@ makes heavy multi-scenario traffic cheap:
 * :mod:`~repro.runtime.executor` — fans independent experiment runs
   out over a process pool (serial fallback included) and merges each
   worker's :mod:`repro.obs` spans/metrics into one report; backs the
-  ``repro run-all --jobs N`` CLI.
+  ``repro run-all --jobs N`` CLI.  Worker deaths and stuck jobs are
+  governed by a :class:`JobRetryPolicy` (bounded retry with jittered
+  backoff, per-job deadlines, partial :class:`SuiteReport` on abort —
+  see ``docs/RESILIENCE.md``).
 * :mod:`~repro.runtime.sweeps` — :func:`sweep` expands parameter grids
   into parallel runs; :func:`lookahead_sweep` / :func:`relay_map_sweep`
   re-express Figures 16 and 19 as grids.
@@ -45,7 +48,13 @@ from .cache import (
     scenario_cache_key,
     set_channel_cache,
 )
-from .executor import SUITE_SCHEMA, JobOutcome, SuiteReport, run_experiments
+from .executor import (
+    SUITE_SCHEMA,
+    JobOutcome,
+    JobRetryPolicy,
+    SuiteReport,
+    run_experiments,
+)
 from .merge import (
     merge_metrics_documents,
     merge_trace_documents,
@@ -72,6 +81,7 @@ __all__ = [
     # executor
     "SUITE_SCHEMA",
     "JobOutcome",
+    "JobRetryPolicy",
     "SuiteReport",
     "run_experiments",
     # request

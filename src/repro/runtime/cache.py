@@ -20,8 +20,9 @@ Cache hits are **bit-identical** to cold builds: entries store the raw
 FIR arrays and each hit materializes *fresh* :class:`AcousticChannel`
 objects from private copies, so streaming filter state is never shared
 between callers.  Corrupt or truncated disk entries are detected,
-discarded, and recomputed — a cache can lose data, never corrupt a
-result.  Full scheme in ``docs/RUNTIME.md``.
+moved aside into a ``.quarantine/`` sidecar directory (so the bytes
+survive for post-mortem inspection), and recomputed — a cache can lose
+data, never corrupt a result.  Full scheme in ``docs/RUNTIME.md``.
 """
 
 from __future__ import annotations
@@ -127,7 +128,8 @@ class ChannelCache:
     disk_dir:
         Directory for the persistent store, or ``None`` (memory only).
         Entries are written atomically (temp file + ``os.replace``) and
-        validated on load; anything unreadable is discarded and rebuilt.
+        validated on load; anything unreadable is quarantined under
+        ``<disk_dir>/.quarantine/`` and rebuilt from scratch.
     """
 
     def __init__(self, max_entries=64, disk_dir=None):
@@ -142,6 +144,7 @@ class ChannelCache:
         self.misses = 0
         self.disk_hits = 0
         self.disk_discards = 0
+        self.quarantined = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
@@ -195,6 +198,7 @@ class ChannelCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "disk_discards": self.disk_discards,
+            "quarantined": self.quarantined,
             "evictions": self.evictions,
         }
 
@@ -305,15 +309,31 @@ class ChannelCache:
                     raise ValueError("invalid impulse response")
             return entry
         except Exception:
-            # Corrupt, truncated, or stale-format entry: discard it so
-            # the slot is rebuilt from scratch (and rewritten cleanly).
+            # Corrupt, truncated, or stale-format entry: move it aside
+            # so the slot is rebuilt from scratch (and rewritten
+            # cleanly) while the bad bytes stay available for
+            # inspection under .quarantine/.
             self.disk_discards += 1
             self._count("disk_discard")
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path):
+        """Move a corrupt entry into ``.quarantine/`` (unlink fallback)."""
+        if obs.enabled():
+            obs.get_registry().counter("cache.corruption_total").inc()
+        try:
+            qdir = self.disk_dir / ".quarantine"
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            self.quarantined += 1
+        except OSError:
+            # Can't move it (read-only dir, cross-device ...): fall back
+            # to deleting so the poisoned entry never hits again.
             try:
                 path.unlink()
             except OSError:
                 pass
-            return None
 
 
 _default_cache = None

@@ -20,6 +20,25 @@ This is what backs ``repro run-all --jobs N`` and
 same registry entry point with exactly the same params and request as
 a serial call, so parallel results equal serial ones — the property
 ``tests/test_runtime.py`` locks in.
+
+Worker loss and deadlines
+-------------------------
+A worker process can die outright (OOM killer, segfaulting native
+code, a chaos injection) — that surfaces as ``BrokenProcessPool``, not
+as a Python exception the job could catch.  The executor treats it as
+a *retryable* event governed by a :class:`JobRetryPolicy`: the pool is
+rebuilt (bounded by ``max_pool_rebuilds``), the suspect job is retried
+after a deterministic jittered backoff (``max_retries`` attempts),
+innocent jobs that were queued behind it are resubmitted uncharged,
+and a job that keeps killing its worker is recorded as a failed
+outcome instead of sinking the suite.  A per-job completion deadline
+(``timeout_s``) bounds stuck jobs the same way — recorded as failures,
+never retried (a deterministic overrun would just hang again).  When
+the rebuild budget runs out the suite **aborts deliberately**:
+:attr:`SuiteReport.aborted` is set and every unfinished job carries an
+abort error — a partial report, never a hang, and never a serial
+re-run of a job that just killed two processes.  Retry activity is
+counted under the ``runtime.retry.*`` obs metrics.
 """
 
 from __future__ import annotations
@@ -27,6 +46,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pickle
+import random
 import time
 import warnings
 from concurrent import futures
@@ -40,7 +60,7 @@ from .merge import (
 )
 from .request import RunRequest
 
-__all__ = ["JobOutcome", "SuiteReport", "run_experiments"]
+__all__ = ["JobOutcome", "JobRetryPolicy", "SuiteReport", "run_experiments"]
 
 #: Schema identifier of :meth:`SuiteReport.to_dict` — the ``report/v2``
 #: envelope family (shared with ``ExperimentResult``; documents carry
@@ -48,6 +68,65 @@ __all__ = ["JobOutcome", "SuiteReport", "run_experiments"]
 SUITE_SCHEMA = "repro.runtime.report/v2"
 
 _UNSET = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRetryPolicy:
+    """How the executor treats worker loss and stuck jobs.
+
+    Parameters
+    ----------
+    max_retries:
+        Attempts *beyond the first* a job gets after killing its
+        worker.  ``0`` records the first worker death as the job's
+        failure.
+    timeout_s:
+        Per-job completion deadline in seconds, or ``None`` (default)
+        for no deadline.  Measured from when the executor starts
+        waiting on the job (jobs are awaited in submission order, so
+        earlier waits give queued jobs running time).  A timed-out job
+        is recorded as failed and **not** retried; its worker is
+        abandoned to finish in the background while the remaining jobs
+        proceed.
+    backoff_s / backoff_factor / max_backoff_s:
+        Backoff slept before a crashed job's retry: ``backoff_s *
+        backoff_factor**(attempt - 1)``, capped.
+    jitter:
+        Uniform jitter fraction on the backoff, drawn from a generator
+        seeded by the request seed — reproducible, but two retrying
+        suites don't thundering-herd in lock step.
+    max_pool_rebuilds:
+        Worker deaths tolerated suite-wide before the executor stops
+        rebuilding pools and aborts with a partial report.
+    """
+
+    max_retries: int = 1
+    timeout_s: float | None = None
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.25
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be > 0 (or None)")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff windows must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        if self.max_pool_rebuilds < 0:
+            raise ConfigurationError("max_pool_rebuilds must be >= 0")
+
+    def backoff_for(self, attempt, rng):
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        base = min(self.backoff_s * self.backoff_factor ** (attempt - 1),
+                   self.max_backoff_s)
+        return base * (1.0 + self.jitter * rng.random())
 
 
 @dataclasses.dataclass
@@ -120,6 +199,7 @@ class SuiteReport:
     request: object = None    # the RunRequest (or its dict after from_json)
     metrics_doc: dict | None = None   # merged-doc overrides installed by
     trace_doc: dict | None = None     # from_json (no live obs to re-merge)
+    aborted: bool = False     # pool rebuild budget exhausted mid-suite
 
     def results(self):
         """``name -> ExperimentResult`` for the successful runs."""
@@ -178,6 +258,7 @@ class SuiteReport:
             "kind": "suite",
             "jobs": self.jobs,
             "parallel": self.parallel,
+            "aborted": self.aborted,
             "wall_s": self.wall_s,
             "request": self._request_doc(),
             "runs": runs,
@@ -235,6 +316,7 @@ class SuiteReport:
             jobs=int(document.get("jobs", 1)),
             wall_s=float(document.get("wall_s", 0.0)),
             parallel=bool(document.get("parallel", False)),
+            aborted=bool(document.get("aborted", False)),
             request=document.get("request"),
             metrics_doc=document.get("metrics"),
             trace_doc=document.get("trace"),
@@ -250,7 +332,8 @@ class SuiteReport:
         lines = [
             f"== runtime suite: {len(self.outcomes)} experiment(s), "
             f"jobs={self.jobs}"
-            f"{' (parallel)' if self.parallel else ' (serial)'}, "
+            f"{' (parallel)' if self.parallel else ' (serial)'}"
+            f"{' ABORTED' if self.aborted else ''}, "
             f"total {self.wall_s:.1f}s =="
         ]
         for o in self.outcomes:
@@ -265,6 +348,144 @@ class SuiteReport:
 def _run_serial(jobs_list, request):
     return [_execute_job(name, params, request)
             for name, params in jobs_list]
+
+
+def _count_retry(event):
+    if obs.enabled():
+        obs.get_registry().counter(f"runtime.retry.{event}").inc()
+
+
+def _failed_outcome(name, params, error):
+    """A synthesized failure record (worker death / deadline / abort)."""
+    return JobOutcome(name=name, params=dict(params), result=None,
+                     trace={}, metrics={}, wall_s=0.0, error=error)
+
+
+class _PoolAborted(Exception):
+    """Internal: the rebuild budget ran out; carries partial outcomes."""
+
+    def __init__(self, outcomes):
+        super().__init__("process pool rebuild budget exhausted")
+        self.outcomes = outcomes
+
+
+def _run_pool(jobs_list, request, policy, n_workers):
+    """Run ``jobs_list`` on a process pool under ``policy``.
+
+    Returns ``(outcomes, aborted)`` with one outcome per job in input
+    order.  Worker deaths are retried per :class:`JobRetryPolicy`;
+    the first pool *construction* failure is not handled here — the
+    caller's serial fallback owns that case.
+    """
+    total = len(jobs_list)
+    outcomes = [None] * total
+    attempts = [0] * total
+    rebuilds = 0
+    rng = random.Random(0 if request.seed is None else int(request.seed))
+    queue = list(range(total))
+    timed_out = False
+    pool = futures.ProcessPoolExecutor(max_workers=n_workers)
+
+    def rebuild():
+        nonlocal pool, rebuilds
+        rebuilds += 1
+        if rebuilds > policy.max_pool_rebuilds:
+            for idx in range(total):
+                if outcomes[idx] is None:
+                    name, params = jobs_list[idx]
+                    outcomes[idx] = _failed_outcome(
+                        name, params,
+                        f"suite aborted: {rebuilds} worker death(s) "
+                        f"exceeded max_pool_rebuilds="
+                        f"{policy.max_pool_rebuilds}")
+            _count_retry("aborts")
+            raise _PoolAborted(outcomes)
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = futures.ProcessPoolExecutor(max_workers=n_workers)
+
+    def harvest(fut_by_idx, pending):
+        """After a breakage: keep finished results, requeue the rest.
+
+        Jobs that completed before the pool broke keep their outcomes;
+        undone jobs go back on the queue *uncharged* — only the job
+        whose wait surfaced the breakage is a suspect.
+        """
+        for idx in pending:
+            fut = fut_by_idx[idx]
+            if fut.done() and not fut.cancelled() \
+                    and fut.exception() is None:
+                outcomes[idx] = fut.result()
+            else:
+                attempts[idx] -= 1
+                queue.append(idx)
+
+    try:
+        while queue:
+            pending = list(queue)
+            queue = []
+            fut_by_idx = {}
+            charged = []
+            try:
+                for idx in pending:
+                    name, params = jobs_list[idx]
+                    attempts[idx] += 1
+                    charged.append(idx)
+                    fut_by_idx[idx] = pool.submit(
+                        _execute_job, name, params, request)
+            except futures.BrokenExecutor:
+                # The pool died before this wave even started; nobody
+                # is a suspect — requeue everything uncharged, rebuild.
+                for idx in charged:
+                    attempts[idx] -= 1
+                queue.extend(pending)
+                rebuild()
+                continue
+
+            wave = list(pending)
+            while wave:
+                idx = wave.pop(0)
+                name, params = jobs_list[idx]
+                fut = fut_by_idx[idx]
+                try:
+                    outcomes[idx] = fut.result(timeout=policy.timeout_s)
+                except futures.TimeoutError:
+                    # Stuck job: record the deadline miss and move on.
+                    # Its worker finishes (or dies) in the background;
+                    # no retry — a deterministic overrun would only
+                    # hang again.
+                    fut.cancel()
+                    timed_out = True
+                    _count_retry("timeouts")
+                    outcomes[idx] = _failed_outcome(
+                        name, params,
+                        f"deadline exceeded: job still running after "
+                        f"{policy.timeout_s}s (JobRetryPolicy.timeout_s)")
+                except futures.BrokenExecutor:
+                    # The worker running (or about to run) this job
+                    # died.  Charge this job, requeue the innocent
+                    # bystanders, rebuild the pool.
+                    _count_retry("worker_deaths")
+                    if attempts[idx] <= policy.max_retries:
+                        queue.append(idx)
+                        delay = policy.backoff_for(attempts[idx], rng)
+                        if delay > 0:
+                            time.sleep(delay)
+                        _count_retry("retries")
+                    else:
+                        _count_retry("exhausted")
+                        outcomes[idx] = _failed_outcome(
+                            name, params,
+                            f"worker died running {name!r} "
+                            f"({attempts[idx]} attempt(s); "
+                            f"max_retries={policy.max_retries})")
+                    harvest(fut_by_idx, wave)
+                    wave = []
+                    rebuild()
+    except _PoolAborted:
+        return outcomes, True
+    finally:
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return outcomes, False
 
 
 def _resolve_request(request, jobs, params, with_obs):
@@ -293,7 +514,7 @@ def _resolve_request(request, jobs, params, with_obs):
 
 
 def run_experiments(names, request=None, jobs=_UNSET, params=_UNSET,
-                    per_experiment=None, with_obs=_UNSET):
+                    per_experiment=None, with_obs=_UNSET, retry=None):
     """Run several experiments, optionally in parallel processes.
 
     Parameters
@@ -312,17 +533,27 @@ def run_experiments(names, request=None, jobs=_UNSET, params=_UNSET,
     per_experiment:
         ``name -> params dict`` merged per run (these are strict: an
         unknown name raises ``UnknownParameterError``).
+    retry:
+        A :class:`JobRetryPolicy` governing worker-death retries,
+        per-job deadlines, and the abort budget (defaults apply when
+        ``None``).  Only meaningful on the parallel path — the serial
+        path runs in-process, where a worker cannot die separately
+        and a deadline cannot be enforced.
     jobs / params / with_obs:
         Deprecated — the pre-``RunRequest`` spelling of the same
         context.  Still honored (folded into a request) with a
         ``DeprecationWarning``; mutually exclusive with ``request=``.
 
-    Returns a :class:`SuiteReport`.  If the process pool cannot be used
-    (pickling limits, a broken pool, a sandboxed platform), the
-    remaining work falls back to the serial path — results are
-    identical either way, only the wall clock differs.
+    Returns a :class:`SuiteReport`.  If the process pool cannot be
+    *created* (pickling limits, a sandboxed platform), the work falls
+    back to the serial path — results are identical either way, only
+    the wall clock differs.  Worker deaths *during* the run are
+    handled by the retry policy instead (see the module docstring) —
+    re-running a worker-killing job in the caller's own process is
+    never a safe fallback.
     """
     request = _resolve_request(request, jobs, params, with_obs)
+    retry = retry or JobRetryPolicy()
     jobs_list = []
     for item in names:
         if isinstance(item, str):
@@ -341,20 +572,18 @@ def run_experiments(names, request=None, jobs=_UNSET, params=_UNSET,
 
     started = time.perf_counter()
     n_workers = min(request.jobs, max(len(jobs_list), 1))
-    parallel = n_workers > 1
+    # A pool is used whenever the request asks for workers — even for a
+    # single job, so the retry policy (deadlines, worker-death
+    # isolation) applies to it.
+    parallel = request.jobs > 1 and bool(jobs_list)
+    aborted = False
     if not parallel:
         outcomes = _run_serial(jobs_list, request)
     else:
         try:
-            with futures.ProcessPoolExecutor(max_workers=n_workers) as pool:
-                outcomes = list(pool.map(
-                    _execute_job,
-                    [name for name, __ in jobs_list],
-                    [p for __, p in jobs_list],
-                    [request] * len(jobs_list),
-                ))
-        except (futures.BrokenExecutor, pickle.PicklingError, OSError,
-                ImportError):
+            outcomes, aborted = _run_pool(jobs_list, request, retry,
+                                          n_workers)
+        except (pickle.PicklingError, OSError, ImportError):
             # No usable pool on this platform — same work, one process.
             parallel = False
             outcomes = _run_serial(jobs_list, request)
@@ -365,4 +594,5 @@ def run_experiments(names, request=None, jobs=_UNSET, params=_UNSET,
         wall_s=time.perf_counter() - started,
         parallel=parallel,
         request=request,
+        aborted=aborted,
     )

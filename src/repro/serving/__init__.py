@@ -24,6 +24,20 @@ Three layers:
   per session — **bit-identical** outputs either way (the serving
   analogue of the loop-vs-vector backend contract).
 
+Crash safety (``docs/RESILIENCE.md``) adds three more:
+
+* :mod:`~repro.serving.checkpoint` — :class:`CheckpointStore`:
+  content-addressed, atomically persisted session snapshots with warm
+  bit-identical restore;
+* :mod:`~repro.serving.supervisor` — :class:`SessionSupervisor`:
+  catches per-session crashes, restarts from the latest checkpoint
+  with escalating backoff, escalates to shedding after
+  ``max_restarts`` (enable via ``ServerConfig.supervision``);
+* :mod:`~repro.serving.breaker` — :class:`DeadlineCircuitBreaker`:
+  per-session block-latency budgets from the paper's Eq. 3 lookahead
+  window, tripping ``mute → feedback → passive`` with half-open
+  recovery probes (enable via ``ServerConfig.deadline``).
+
 Minimal session::
 
     from repro import serving
@@ -43,8 +57,22 @@ Minimal session::
 
 from __future__ import annotations
 
+from .breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DeadlineCircuitBreaker,
+    DeadlineConfig,
+)
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    checkpoint_payload,
+    payload_digest,
+)
 from .manager import SHED_POLICIES, SessionManager
 from .server import ServerConfig, ServingReport, SessionServer
+from .supervisor import SessionSupervisor, SupervisionConfig
 from .session import (
     ACTIVE,
     DONE,
@@ -75,4 +103,18 @@ __all__ = [
     "ServerConfig",
     "ServingReport",
     "SessionServer",
+    # checkpoint
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "checkpoint_payload",
+    "payload_digest",
+    # supervisor
+    "SupervisionConfig",
+    "SessionSupervisor",
+    # breaker
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "DeadlineConfig",
+    "DeadlineCircuitBreaker",
 ]

@@ -1,0 +1,211 @@
+"""Deadline circuit breakers: block-latency budgets from the paper's Eq. 3.
+
+MUTE's timing analysis (paper §3.1, Eq. 3) is what makes serving
+possible at all: the RF reference reaches the server ``n_future``
+samples ahead of the acoustic wavefront, so a block of anti-noise is
+*on time* as long as it is produced within that lookahead window —
+``n_future / sample_rate`` seconds.  A session whose blocks repeatedly
+miss that budget is not cancelling, it is playing stale anti-noise
+*into* the ear; the right response is the same graded ladder the
+fault layer already walks (``mute → feedback → passive``), driven by
+latency instead of reference health.
+
+:class:`DeadlineCircuitBreaker` is a classic three-state breaker over
+that ladder:
+
+``closed``
+    Full MUTE operation.  ``miss_threshold`` *consecutive* deadline
+    misses trip it open.
+``open``
+    The session is clamped to a degradation floor — ``feedback``
+    (taps frozen, last converged solution keeps playing) on the first
+    trip, ``passive`` once ``escalate_trips`` trips accumulate — for a
+    cooldown that doubles on every re-trip.
+``half-open``
+    Cooldown expired: the next block runs at full capability as a
+    **recovery probe**.  Meeting the deadline closes the breaker
+    (adaptation resumes from the frozen taps — warm, no cold-start
+    transient); missing re-opens it with an escalated cooldown.
+
+Determinism: by default the breaker observes only *simulated* latency
+(chaos-injected stalls), so zero-chaos serving output is bit-identical
+with breakers enabled — wall-clock jitter on a loaded machine cannot
+flip a run's bits.  Set ``measure_wall=True`` to feed it real kernel
+wall times (a production setting, not a reproduction one).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .. import obs
+from ..errors import ConfigurationError
+from ..faults.monitor import MODE_FEEDBACK, MODE_MUTE, MODE_PASSIVE
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "DeadlineConfig",
+    "DeadlineCircuitBreaker",
+]
+
+#: Breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlineConfig:
+    """Per-session block-latency budget and breaker thresholds.
+
+    Parameters
+    ----------
+    budget_s:
+        Block deadline in seconds, or ``None`` to derive it from the
+        session geometry as the paper's Eq. 3 lookahead window:
+        ``budget_factor * n_future / sample_rate`` (the RF lead the
+        relay buys — a block computed inside it plays on time).
+    budget_factor:
+        Safety factor on the derived budget (ignored when ``budget_s``
+        is explicit).
+    miss_threshold:
+        Consecutive misses that trip a closed breaker.
+    cooldown_blocks:
+        Blocks a freshly tripped breaker stays open before probing;
+        doubles (``cooldown_factor``) per re-trip up to
+        ``max_cooldown_blocks``.
+    escalate_trips:
+        Trip count at which the open-state floor worsens from
+        ``feedback`` to ``passive``.
+    measure_wall:
+        Feed real kernel wall time into the breaker in addition to
+        injected stalls.  Off by default — see the module docstring's
+        determinism note.
+    """
+
+    budget_s: float | None = None
+    budget_factor: float = 1.0
+    miss_threshold: int = 3
+    cooldown_blocks: int = 8
+    cooldown_factor: float = 2.0
+    max_cooldown_blocks: int = 64
+    escalate_trips: int = 2
+    measure_wall: bool = False
+
+    def __post_init__(self):
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise ConfigurationError("budget_s must be > 0 (or None)")
+        if self.budget_factor <= 0:
+            raise ConfigurationError("budget_factor must be > 0")
+        if self.miss_threshold < 1:
+            raise ConfigurationError("miss_threshold must be >= 1")
+        if self.cooldown_blocks < 1 or self.max_cooldown_blocks < 1:
+            raise ConfigurationError("cooldown windows must be >= 1")
+        if self.cooldown_factor < 1.0:
+            raise ConfigurationError("cooldown_factor must be >= 1")
+        if self.escalate_trips < 1:
+            raise ConfigurationError("escalate_trips must be >= 1")
+
+    def resolved_budget_s(self, session_config):
+        """The budget for one session geometry (Eq. 3 when implicit)."""
+        if self.budget_s is not None:
+            return float(self.budget_s)
+        return (self.budget_factor * session_config.n_future
+                / session_config.sample_rate)
+
+
+class DeadlineCircuitBreaker:
+    """One session's latency breaker (state machine in the module docs).
+
+    The server calls :meth:`observe` once per processed block with that
+    block's latency; :meth:`mode_floor` is consulted *before* the next
+    block and combined (worst-wins) with the
+    :class:`~repro.faults.DegradationController`'s health-driven mode
+    in :meth:`DeviceSession.gates`.
+    """
+
+    def __init__(self, deadline_s, config=None):
+        if deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {deadline_s}")
+        self.deadline_s = float(deadline_s)
+        self.config = config or DeadlineConfig()
+        self.state = BREAKER_CLOSED
+        self.consecutive_misses = 0
+        self.cooldown_remaining = 0
+        self.trips = 0
+        self.misses_total = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    def mode_floor(self):
+        """The degradation floor the *next* block must respect.
+
+        ``mute`` (no clamp) when closed or probing half-open;
+        ``feedback`` when open; ``passive`` when open after
+        ``escalate_trips`` trips.
+        """
+        if self.state != BREAKER_OPEN:
+            return MODE_MUTE
+        if self.trips >= self.config.escalate_trips:
+            return MODE_PASSIVE
+        return MODE_FEEDBACK
+
+    def observe(self, latency_s):
+        """Record one block's latency; advance the state machine.
+
+        Returns the state after the observation.
+        """
+        missed = latency_s > self.deadline_s
+        if missed:
+            self.misses_total += 1
+        if self.state == BREAKER_CLOSED:
+            if missed:
+                self.consecutive_misses += 1
+                if self.consecutive_misses >= self.config.miss_threshold:
+                    self._trip()
+            else:
+                self.consecutive_misses = 0
+        elif self.state == BREAKER_OPEN:
+            self.cooldown_remaining -= 1
+            if self.cooldown_remaining <= 0:
+                self.state = BREAKER_HALF_OPEN
+        elif self.state == BREAKER_HALF_OPEN:
+            # This observation *is* the recovery probe.
+            self.probes += 1
+            if obs.enabled():
+                obs.get_registry().counter("serving.breaker.probes").inc()
+            if missed:
+                self._trip()
+            else:
+                self.state = BREAKER_CLOSED
+                self.consecutive_misses = 0
+                self.recoveries += 1
+                if obs.enabled():
+                    obs.get_registry().counter(
+                        "serving.breaker.recoveries").inc()
+        return self.state
+
+    def _trip(self):
+        self.trips += 1
+        self.consecutive_misses = 0
+        cooldown = self.config.cooldown_blocks * (
+            self.config.cooldown_factor ** (self.trips - 1))
+        self.cooldown_remaining = int(min(cooldown,
+                                          self.config.max_cooldown_blocks))
+        self.state = BREAKER_OPEN
+        if obs.enabled():
+            obs.get_registry().counter("serving.breaker.trips").inc()
+
+    def summary(self):
+        """JSON-able breaker bookkeeping (rides on ``SessionResult``)."""
+        return {
+            "state": self.state,
+            "deadline_s": self.deadline_s,
+            "trips": self.trips,
+            "misses": self.misses_total,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+        }

@@ -102,6 +102,7 @@ class SessionManager:
                 reference=workload.reference,
                 disturbance=workload.disturbance,
                 fault_plan=request.fault_plan,
+                chaos=workload.chaos,
             )
         if len(self.pending) >= self.queue_depth:
             if self.shed_policy == "reject":

@@ -21,6 +21,16 @@ Fault isolation: each session's
 row (freeze adaptation, mute output), and a diverged row is marked
 ``failed`` and dropped from the batch — one bad session never stalls
 or corrupts its neighbors.
+
+Crash safety is opt-in via two :class:`ServerConfig` fields:
+``supervision`` (a :class:`~repro.serving.supervisor.SupervisionConfig`)
+turns on checkpointing and supervised restart of sessions that raise
+mid-tick, and ``deadline`` (a
+:class:`~repro.serving.breaker.DeadlineConfig`) attaches a
+:class:`~repro.serving.breaker.DeadlineCircuitBreaker` to every
+admitted session.  Both default to ``None``, and with them off — or on
+but with no chaos injected — the server's output is bit-identical to
+the unsupervised baseline (property-tested in ``tests/test_chaos.py``).
 """
 
 from __future__ import annotations
@@ -32,8 +42,10 @@ import numpy as np
 
 from .. import obs
 from ..core.adaptive import kernels
+from .breaker import DeadlineCircuitBreaker
 from .manager import SessionManager
 from .session import ACTIVE, DONE, FAILED, SessionConfig
+from .supervisor import SessionSupervisor
 
 __all__ = ["ServerConfig", "ServingReport", "SessionServer"]
 
@@ -53,6 +65,10 @@ class ServerConfig:
     queue_depth: int = 256
     shed_policy: str = "reject"
     session: SessionConfig = dataclasses.field(default_factory=SessionConfig)
+    #: Checkpoint/restart supervision (SupervisionConfig), or None.
+    supervision: object | None = None
+    #: Per-session deadline breakers (DeadlineConfig), or None.
+    deadline: object | None = None
 
 
 @dataclasses.dataclass
@@ -68,6 +84,7 @@ class ServingReport:
     sample_rate: float
     wall_s: float
     latencies_s: list             #: wall time of every kernel call
+    recovery: dict | None = None  #: supervisor stats, when supervised
 
     def digests(self):
         """``session name -> residual SHA-256`` (bit-identity probe)."""
@@ -113,6 +130,7 @@ class ServingReport:
             "blocks_per_s": self.throughput_blocks_per_s(),
             "audio_seconds_per_s": self.audio_seconds_per_s(),
             "block_latency_s": pct,
+            "recovery": self.recovery,
             "sessions": [{
                 "id": r.session_id,
                 "name": r.name,
@@ -123,6 +141,7 @@ class ServingReport:
                 "transitions": r.transitions,
                 "mode_fractions": r.mode_fractions,
                 "error": r.error,
+                "breaker": r.breaker,
             } for r in self.results],
         }
 
@@ -140,6 +159,12 @@ class ServingReport:
             f"p99 {pct['p99'] * 1e3:.3f} ms per kernel call",
             f"  shed        {self.shed}",
         ]
+        if self.recovery is not None:
+            lines.append(
+                f"  recovery    {self.recovery['restores']} warm restore(s), "
+                f"{self.recovery['cold_starts']} cold, "
+                f"{self.recovery['escalations']} escalation(s)"
+            )
         for r in self.results:
             modes = ", ".join(f"{m}={f:.2f}"
                               for m, f in sorted(r.mode_fractions.items()))
@@ -173,6 +198,12 @@ class SessionServer:
         self.ticks = 0
         self.session_blocks = 0
         self.latencies_s = []
+        self.supervisor = (
+            SessionSupervisor(self.config.supervision)
+            if self.config.supervision is not None else None)
+        self._budget_s = (
+            self.config.deadline.resolved_budget_s(self.config.session)
+            if self.config.deadline is not None else None)
 
     def submit(self, workload, request=None):
         """Queue one workload (see :meth:`SessionManager.submit`)."""
@@ -181,20 +212,61 @@ class SessionServer:
     def _admit(self):
         for session in self.manager.admit(len(self.active)):
             session.status = ACTIVE
+            if self.config.deadline is not None:
+                session.breaker = DeadlineCircuitBreaker(
+                    self._budget_s, self.config.deadline)
             if session.done:
                 # Sub-block workload: nothing to schedule.
                 session.status = DONE
                 self.finished.append(session)
             else:
+                if self.supervisor is not None:
+                    self.supervisor.on_admit(session)
                 self.active.append(session)
+
+    def _crash(self, session, exc):
+        """Route one caught per-session exception through the supervisor.
+
+        Unsupervised servers re-raise: swallowing a crash without a
+        restore path would silently lose a session.  Supervised ones
+        swap the crashed session for its checkpoint-restored
+        replacement in place (same batch slot next tick), or retire it
+        as shed once the restart budget is exhausted.
+        """
+        if self.supervisor is None:
+            raise exc
+        replacement = self.supervisor.on_crash(session, exc, self.ticks)
+        idx = self.active.index(session)
+        if replacement is None:
+            self.finished.append(self.active.pop(idx))
+        else:
+            self.active[idx] = replacement
 
     def _advance(self, batch):
         """One lock-step block over ``batch`` (list of sessions)."""
-        B = self.config.block_size
         S = len(batch)
-        gates = [session.gates() for session in batch]
-        adapt = np.array([g[0] for g in gates], dtype=bool)
-        act = np.array([g[1] for g in gates], dtype=bool)
+        # Per-session prep: chaos injection (may raise a scheduled
+        # crash) and degradation gating.  A crashing session drops out
+        # of this block; its neighbours' rows are unaffected.
+        prepped = []
+        stalls = []
+        for session in batch:
+            try:
+                stall_s = 0.0
+                if session.chaos is not None:
+                    stall_s = session.chaos.before_block(session)
+                gate = session.gates()
+            except Exception as exc:  # noqa: BLE001 — supervisor triages
+                self._crash(session, exc)
+                continue
+            prepped.append((session, gate))
+            stalls.append(stall_s)
+        if not prepped:
+            return
+        batch = [p[0] for p in prepped]
+        S = len(batch)
+        adapt = np.array([g[0] for __, g in prepped], dtype=bool)
+        act = np.array([g[1] for __, g in prepped], dtype=bool)
         taps = np.stack([session.filter.taps for session in batch])
         d = np.stack([session.next_block()[1] for session in batch])
         mu = np.array([session.filter.mu for session in batch])
@@ -214,6 +286,8 @@ class SessionServer:
             registry.histogram("serving.block_latency_s").observe(elapsed)
             registry.counter("serving.blocks_total").inc(S)
 
+        measure_wall = (self.config.deadline is not None
+                        and self.config.deadline.measure_wall)
         for i, session in enumerate(batch):
             session.filter.taps[:] = taps[i]
             if diverged[i]:
@@ -221,6 +295,14 @@ class SessionServer:
                     f"kernel divergence at block {session.block_index}")
             else:
                 session.record_block(errors[i])
+                if self.supervisor is not None:
+                    self.supervisor.after_block(session)
+            if session.breaker is not None:
+                # The breaker sees injected stalls always; real kernel
+                # wall time only when measure_wall opts in (see the
+                # determinism note in repro.serving.breaker).
+                latency_s = stalls[i] + (elapsed if measure_wall else 0.0)
+                session.breaker.observe(latency_s)
         self.session_blocks += S
 
     def tick(self):
@@ -229,14 +311,23 @@ class SessionServer:
         Batched mode stacks the whole active set into one kernel call;
         serial mode runs the same kernel per session.  Both schedules
         visit sessions in admission order, so their outputs are
-        bit-identical.
+        bit-identical.  Sessions inside a post-crash backoff window sit
+        the tick out (the tick still counts, so their window expires);
+        a tick with every session in backoff reports work done rather
+        than draining the server with sessions still outstanding.
         """
         self._admit()
-        batch = list(self.active)
-        if not batch:
+        if self.supervisor is not None:
+            batch = [s for s in self.active
+                     if self.supervisor.ready(s, self.ticks)]
+        else:
+            batch = list(self.active)
+        waiting = len(self.active) - len(batch)
+        if not batch and not waiting:
             return False
         if self.config.batched:
-            self._advance(batch)
+            if batch:
+                self._advance(batch)
         else:
             for session in batch:
                 self._advance([session])
@@ -273,4 +364,6 @@ class SessionServer:
             sample_rate=self.config.session.sample_rate,
             wall_s=wall_s,
             latencies_s=list(self.latencies_s),
+            recovery=(self.supervisor.stats()
+                      if self.supervisor is not None else None),
         )

@@ -25,8 +25,9 @@ import numpy as np
 
 from ..core.adaptive import kernels
 from ..core.adaptive.lanc import LancFilter
-from ..errors import ConfigurationError
+from ..errors import CheckpointError, ConfigurationError
 from ..faults import DegradationController, FaultyRelay
+from ..faults.monitor import MODE_LEVEL, ModeTransition
 from ..signals import WhiteNoise
 from ..utils.validation import check_positive, check_positive_int, \
     check_waveform
@@ -48,7 +49,8 @@ PENDING = "pending"    #: submitted, waiting for admission
 ACTIVE = "active"      #: admitted, advancing block by block
 DONE = "done"          #: workload fully processed
 FAILED = "failed"      #: isolated after kernel divergence
-SHED = "shed"          #: evicted under overload before ever running
+SHED = "shed"          #: deliberately evicted — admission overload, or
+#: escalation after exhausting the supervisor's crash-restart budget
 
 
 def _default_secondary_path():
@@ -99,6 +101,7 @@ class SessionWorkload:
     reference: np.ndarray
     disturbance: np.ndarray
     fault_plan: object | None = None
+    chaos: object | None = None    #: per-session chaos events (repro.chaos)
 
     def __post_init__(self):
         self.reference = check_waveform("reference", self.reference)
@@ -111,7 +114,7 @@ class SessionWorkload:
 
     @classmethod
     def synthetic(cls, name, duration_s=1.0, seed=0, sample_rate=8000.0,
-                  level_rms=0.2, fault_plan=None):
+                  level_rms=0.2, fault_plan=None, chaos=None):
         """A deterministic per-user workload for benchmarks and tests.
 
         White noise through a small primary path — each session gets an
@@ -124,7 +127,7 @@ class SessionWorkload:
         primary = np.array([0.0] * 12 + [0.5])
         d = np.convolve(x, primary)[:x.size]
         return cls(name=name, reference=x, disturbance=d,
-                   fault_plan=fault_plan)
+                   fault_plan=fault_plan, chaos=chaos)
 
 
 @dataclasses.dataclass
@@ -140,6 +143,7 @@ class SessionResult:
     mode_fractions: dict           #: degradation-mode occupancy
     transitions: int               #: degradation mode changes
     error: str | None = None      #: isolation reason for FAILED sessions
+    breaker: dict | None = None   #: deadline-breaker summary, if attached
 
     def digest(self):
         """SHA-256 of the residual bytes — the bit-identity fingerprint."""
@@ -218,6 +222,14 @@ class DeviceSession:
             [self.reference, np.zeros(config.n_future)]))
         self.block_index = 0
         self._residuals = []
+        # Resilience attachments, wired by the server at admission:
+        # a chaos injector (repro.chaos) carrying this session's
+        # scheduled crash/stall events, and a deadline circuit breaker
+        # (repro.serving.breaker).  Both survive a supervised restart
+        # by reference — CheckpointStore.restore_session carries them
+        # onto the replacement, so one-shot crash schedules fire once.
+        self.chaos = workload.chaos
+        self.breaker = None
 
     @property
     def done(self):
@@ -235,11 +247,19 @@ class DeviceSession:
 
         This is the fault-isolation hook: the controller sees what the
         (possibly faulty) relay delivered for *this* session and gates
-        only this session's row of the batch.
+        only this session's row of the batch.  When a deadline circuit
+        breaker is attached, its :meth:`mode_floor` is combined
+        worst-wins with the health-driven mode — a session can be
+        clamped to ``feedback`` by latency even while its reference is
+        perfectly healthy, and vice versa.
         """
         ref_block, __ = self.next_block()
         mode = self.controller.observe(
             ref_block, self.block_index * self.block_size)
+        if self.breaker is not None:
+            floor = self.breaker.mode_floor()
+            if MODE_LEVEL[floor] < MODE_LEVEL[mode]:
+                mode = floor
         return self.controller.gates(mode)
 
     def record_block(self, errors):
@@ -268,4 +288,71 @@ class DeviceSession:
             mode_fractions=self.controller.mode_fractions(),
             transitions=len(self.controller.transitions),
             error=self.error,
+            breaker=(self.breaker.summary() if self.breaker is not None
+                     else None),
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def apply_checkpoint(self, payload):
+        """Overwrite this session's mutable state from a checkpoint payload.
+
+        The payload must come from
+        :func:`repro.serving.checkpoint.checkpoint_payload` on a session
+        with the same identity and geometry; anything else raises
+        :class:`~repro.errors.CheckpointError`.  After application the
+        session resumes at the checkpointed block cursor and replays the
+        remaining blocks bit-identically to a run that never crashed.
+        """
+        meta = payload["meta"]
+        arrays = payload["arrays"]
+        if meta["session_id"] != self.session_id:
+            raise CheckpointError(
+                f"checkpoint belongs to session {meta['session_id']}, "
+                f"not {self.session_id}")
+        if meta["name"] != self.workload.name:
+            raise CheckpointError(
+                f"checkpoint is for workload {meta['name']!r}, "
+                f"not {self.workload.name!r}")
+        if meta["block_size"] != self.block_size:
+            raise CheckpointError(
+                f"checkpoint block_size {meta['block_size']} != "
+                f"{self.block_size}")
+        taps = np.asarray(arrays["taps"], dtype=np.float64)
+        if taps.shape != self.filter.taps.shape:
+            raise CheckpointError(
+                f"checkpoint taps have shape {taps.shape}; this session "
+                f"expects {self.filter.taps.shape} (geometry mismatch)")
+
+        self.state.restore({
+            "x": arrays["x"],
+            "xf": arrays["xf"],
+            "time": meta["kernel_time"],
+            "y_recent": arrays["y_recent"],
+            "zi": arrays["zi"],
+        })
+        self.filter.set_taps(taps)
+
+        ctrl_meta = meta["controller"]
+        controller = self.controller
+        controller.mode = ctrl_meta["mode"]
+        controller.modes = list(ctrl_meta["modes"])
+        controller._blocks = int(ctrl_meta["blocks"])
+        controller.transitions = [
+            ModeTransition(**t) for t in ctrl_meta["transitions"]
+        ]
+        controller._snapshot = (
+            np.asarray(arrays["snapshot_taps"], dtype=np.float64).copy()
+            if meta["has_snapshot_taps"] else None)
+        mon_meta = meta["monitor"]
+        monitor = controller.monitor
+        monitor.baseline_rms = mon_meta["baseline_rms"]
+        monitor.state = mon_meta["state"]
+        monitor._better_streak = int(mon_meta["better_streak"])
+
+        self.block_index = int(meta["block_index"])
+        self.status = meta["status"]
+        self.error = meta["error"]
+        residuals = np.asarray(arrays["residuals"], dtype=np.float64)
+        self._residuals = [residuals.copy()] if residuals.size else []

@@ -10,7 +10,7 @@ import sys
 import numpy as np
 import pytest
 
-from repro import runtime
+from repro import obs, runtime
 from repro.acoustics.geometry import Point
 from repro.core.scenario import office_scenario
 from repro.errors import ConfigurationError
@@ -117,7 +117,8 @@ class TestMemoryCache:
         scenario.build_channels(cache=cache)
         assert cache.stats() == {
             "entries": 1, "hits": 1, "misses": 1,
-            "disk_hits": 0, "disk_discards": 0, "evictions": 0,
+            "disk_hits": 0, "disk_discards": 0, "quarantined": 0,
+            "evictions": 0,
         }
 
     def test_build_channels_cache_false_bypasses(self):
@@ -159,11 +160,31 @@ class TestDiskCache:
         _assert_channels_equal(channels, scenario.compute_channels())
         stats = reader.stats()
         assert stats["disk_discards"] == 1
+        assert stats["quarantined"] == 1
         assert stats["misses"] == 1
-        # The bad file was replaced with a clean rewrite.
+        # The bad bytes were moved aside for inspection, not destroyed.
+        quarantined = list((tmp_path / ".quarantine").glob("*.npz"))
+        assert [p.name for p in quarantined] == [entry_path.name]
+        assert quarantined[0].read_bytes() == b"this is not an npz archive"
+        # The slot itself was replaced with a clean rewrite.
         again = ChannelCache(disk_dir=tmp_path)
         again.get_or_build(scenario)
         assert again.stats()["disk_hits"] == 1
+
+    def test_corruption_counted_in_obs(self, tmp_path):
+        scenario = office_scenario()
+        writer = ChannelCache(disk_dir=tmp_path)
+        writer.get_or_build(scenario)
+        (entry_path,) = tmp_path.glob("*.npz")
+        entry_path.write_bytes(b"garbage")
+
+        obs.reset()
+        with obs.enabled_scope():
+            ChannelCache(disk_dir=tmp_path).get_or_build(scenario)
+            metrics = obs.get_registry().to_dict()["metrics"]
+        obs.reset()
+        by_name = {m["name"]: m for m in metrics}
+        assert by_name["cache.corruption_total"]["value"] == 1
 
     def test_truncated_entry_recovered(self, tmp_path):
         scenario = office_scenario()
@@ -227,7 +248,8 @@ class TestRegistry:
         names = experiments.experiment_names()
         assert "fig12" in names and "timing" in names and "edge" in names
         assert "resilience" in names and "serving" in names
-        assert len(names) == 19
+        assert "chaos" in names
+        assert len(names) == 20
 
     def test_get_unknown_raises(self):
         with pytest.raises(ConfigurationError):
