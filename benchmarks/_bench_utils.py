@@ -13,6 +13,11 @@ import json
 from pathlib import Path
 
 from repro import obs
+# The one shared timer: every bench that reports a wall time uses the
+# same median-of-N/best-of-N measurement as the ``repro perf-profile``
+# stage harness, so numbers in BENCH_*.json and repro.perf/v1 documents
+# are directly comparable (see docs/PERFORMANCE.md).
+from repro.perf.timer import Timing, time_call  # noqa: F401  (re-export)
 
 
 def run_once(benchmark, fn, **kwargs):

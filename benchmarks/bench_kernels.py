@@ -10,12 +10,10 @@ writes the speedup table to ``BENCH_kernels.json``; the LANC row must
 clear the 3x contract.
 """
 
-import time
-
 import numpy as np
 import pytest
 
-from _bench_utils import write_bench_json
+from _bench_utils import time_call, write_bench_json
 from repro.acoustics import Point, Room, room_impulse_response
 from repro.core import (ApaFilter, LancFilter, LmsFilter,
                         MultiRefLancFilter, RlsFilter, StreamingLanc,
@@ -26,6 +24,10 @@ from repro.wireless import FmDemodulator, FmModulator
 #: The vector backend must beat the loop backend by at least this much
 #: on the LANC sample loop (the contract in docs/KERNELS.md).
 LANC_SPEEDUP_FLOOR = 3.0
+
+#: And on the RLS walk, whose vector backend rides BLAS ``dsymv`` /
+#: ``dsyr`` symmetric rank-1 updates (see docs/PERFORMANCE.md).
+RLS_SPEEDUP_FLOOR = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -115,13 +117,9 @@ def test_kernel_backend_sweep(white_second, report):
         timings = {}
         outputs = {}
         for backend in ("loop", "vector"):
-            run = make_run(backend)
-            best = np.inf
-            for __ in range(3):
-                start = time.perf_counter()
-                outputs[backend] = run()
-                best = min(best, time.perf_counter() - start)
-            timings[backend] = best
+            timing = time_call(make_run(backend), repeats=3)
+            outputs[backend] = timing.result
+            timings[backend] = timing.best_s
         max_dev = float(np.max(np.abs(outputs["vector"] - outputs["loop"])))
         rows.append({
             "engine": name,
@@ -136,6 +134,7 @@ def test_kernel_backend_sweep(white_second, report):
         "schema": "repro.bench.kernels/v1",
         "workload": "1 s of white noise at 8 kHz",
         "lanc_speedup_floor": LANC_SPEEDUP_FLOOR,
+        "rls_speedup_floor": RLS_SPEEDUP_FLOOR,
         "rows": rows,
     })
 
@@ -149,6 +148,9 @@ def test_kernel_backend_sweep(white_second, report):
     assert by_engine["lanc"]["speedup"] >= LANC_SPEEDUP_FLOOR, \
         f"LANC vector speedup {by_engine['lanc']['speedup']:.2f}x < " \
         f"{LANC_SPEEDUP_FLOOR}x"
+    assert by_engine["rls"]["speedup"] >= RLS_SPEEDUP_FLOOR, \
+        f"RLS vector speedup {by_engine['rls']['speedup']:.2f}x < " \
+        f"{RLS_SPEEDUP_FLOOR}x"
 
 
 def test_rir_build(benchmark):

@@ -15,9 +15,7 @@ Run with::
 
 import time
 
-import numpy as np
-
-from _bench_utils import write_bench_json
+from _bench_utils import time_call, write_bench_json
 from repro.serving import ServerConfig, SessionServer, SessionWorkload
 
 #: Batched serving must beat serial serving by at least this much at
@@ -32,16 +30,14 @@ DURATION_S = 0.25
 
 
 def _drain(sessions, batched, seed=0):
-    """Build a fleet, drain it, return (report, wall_s)."""
+    """Build a fleet and drain it; returns the ServingReport."""
     config = ServerConfig(batched=batched, max_sessions=max(sessions, 1))
     server = SessionServer(config)
     for i in range(sessions):
         server.submit(SessionWorkload.synthetic(
             f"user{i}", duration_s=DURATION_S, seed=seed + i,
             sample_rate=config.session.sample_rate))
-    started = time.perf_counter()
-    report = server.run_until_drained()
-    return report, time.perf_counter() - started
+    return server.run_until_drained()
 
 
 def test_serving_throughput_sweep(report):
@@ -52,11 +48,12 @@ def test_serving_throughput_sweep(report):
         digests = {}
         blocks = {}
         for schedule in ("serial", "batched"):
-            best = np.inf
-            for __ in range(2):
-                rep, wall = _drain(sessions, batched=(schedule == "batched"))
-                best = min(best, wall)
-            timings[schedule] = best
+            timing = time_call(
+                lambda s=sessions, b=(schedule == "batched"):
+                _drain(s, batched=b),
+                repeats=2)
+            rep = timing.result
+            timings[schedule] = timing.best_s
             digests[schedule] = rep.digests()
             blocks[schedule] = rep.session_blocks
         assert digests["serial"] == digests["batched"], \

@@ -3,6 +3,13 @@
 An :class:`AcousticChannel` wraps an impulse response and applies it to
 waveforms.  The streaming interface (``step`` / ``process_block``) keeps
 filter state across calls, which the sample-loop ANC simulator relies on.
+
+Convolution routes through the shared cached-FFT engine
+(:mod:`repro.utils.fastconv`): the spectrum of each impulse response is
+transformed once and reused across every ``apply`` call — the hot-path
+fix the ``repro perf-profile`` channel stage motivated.  With
+:mod:`repro.utils.fastpath` disabled, the historical
+``fftconvolve``/``lfilter`` arithmetic runs instead.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ import numpy as np
 from scipy import signal as sps
 
 from ..errors import ChannelError
+from ..utils import fastconv
 from ..utils.validation import check_impulse_response, check_waveform
 
 __all__ = ["AcousticChannel", "cascade", "channel_delay_samples"]
@@ -47,6 +55,9 @@ class AcousticChannel:
         self.ir = check_impulse_response("impulse_response", impulse_response)
         self.name = str(name)
         self._state = np.zeros(max(self.ir.size - 1, 1))
+        # Shares the carry buffer with step(), so block and per-sample
+        # streaming can interleave on one channel.
+        self._stream = fastconv.StreamingFir(self.ir, state=self._state)
 
     def __len__(self):
         return self.ir.size
@@ -62,12 +73,12 @@ class AcousticChannel:
     def apply(self, signal):
         """Convolve a whole waveform (stateless; output length = input)."""
         signal = check_waveform("signal", signal)
-        return sps.fftconvolve(signal, self.ir)[: signal.size]
+        return fastconv.fir_apply(signal, self.ir, mode="same")
 
     def apply_full(self, signal):
         """Full convolution including the reverberant tail."""
         signal = check_waveform("signal", signal)
-        return sps.fftconvolve(signal, self.ir)
+        return fastconv.fir_apply(signal, self.ir, mode="full")
 
     def step(self, sample):
         """Push one input sample through the channel (stateful)."""
@@ -82,8 +93,7 @@ class AcousticChannel:
     def process_block(self, block):
         """Streaming block convolution (stateful across calls)."""
         block = check_waveform("block", block)
-        out, self._state = _lfilter_with_state(self.ir, block, self._state)
-        return out
+        return self._stream.process(block)
 
     def reset(self):
         """Clear streaming state."""
@@ -95,22 +105,12 @@ class AcousticChannel:
         return w, h
 
 
-def _lfilter_with_state(fir, block, state):
-    """FIR lfilter with explicit carry state sized ``len(fir) - 1``."""
-    if fir.size == 1:
-        return fir[0] * block, state
-    out, zf = sps.lfilter(fir, [1.0], block, zi=state[: fir.size - 1])
-    new_state = np.zeros_like(state)
-    new_state[: fir.size - 1] = zf
-    return out, new_state
-
-
 def cascade(*channels, name=None):
     """Compose channels in series into a single equivalent channel."""
     if not channels:
         raise ChannelError("cascade requires at least one channel")
     ir = np.array([1.0])
     for ch in channels:
-        ir = np.convolve(ir, ch.ir)
+        ir = fastconv.fir_apply(ir, ch.ir, mode="full")
     label = name or "*".join(ch.name for ch in channels)
     return AcousticChannel(ir, name=label)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..utils import fastconv
 from ..utils.validation import check_non_negative, check_positive, check_waveform
 from .constants import SPEED_OF_SOUND
 
@@ -117,6 +118,8 @@ def apply_delay(signal, delay, sample_rate=None):
         out = np.zeros(n)
         out[int_delay:] = signal[: n - int_delay]
         return out
+    # The worst standalone convolution offender before the perf
+    # overhaul: a fresh full-length np.convolve per fractional delay.
+    # The shared engine caches the kernel's spectrum across calls.
     taps = fractional_delay_filter(delay)
-    out = np.convolve(signal, taps)[:n]
-    return out
+    return fastconv.fir_apply(signal, taps, mode="same")

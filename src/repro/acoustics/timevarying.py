@@ -15,9 +15,9 @@ static RIRs without re-running the image model per sample.
 from __future__ import annotations
 
 import numpy as np
-from scipy import signal as sps
 
 from ..errors import ChannelError, ConfigurationError
+from ..utils import fastconv
 from ..utils.validation import check_impulse_response, check_waveform
 from .rir import room_impulse_response
 
@@ -53,12 +53,13 @@ class TimeVaryingChannel:
         """Propagate a waveform through the moving channel."""
         signal = check_waveform("signal", signal)
         if self.n_snapshots == 1:
-            return sps.fftconvolve(signal, self.snapshots[0])[: signal.size]
+            return fastconv.fir_apply(signal, self.snapshots[0], mode="same")
 
         T = signal.size
         n_transitions = self.n_snapshots - 1
         # Convolve once per snapshot, then blend with per-sample weights.
-        outputs = [sps.fftconvolve(signal, ir)[:T] for ir in self.snapshots]
+        outputs = [fastconv.fir_apply(signal, ir, mode="same")
+                   for ir in self.snapshots]
         result = np.zeros(T)
         bounds = np.linspace(0, T, n_transitions + 1).astype(int)
         for i in range(n_transitions):

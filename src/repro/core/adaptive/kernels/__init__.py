@@ -41,9 +41,11 @@ import os
 from ....errors import ConfigurationError
 from . import loop, vector
 from .state import KernelState
+from .workspace import BatchWorkspace
 
 __all__ = [
     "KernelState",
+    "BatchWorkspace",
     "DEFAULT_BACKEND",
     "ENV_VAR",
     "available_backends",

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
-from scipy.linalg.blas import daxpy, ddot
+from scipy.linalg.blas import daxpy, ddot, dsymv, dsyr
 
 from ..base import DIVERGENCE_LIMIT, guard_divergence
 
@@ -199,7 +199,8 @@ def fxlms_block(state, taps, d, mu, normalized=True, leak=0.0, adapt=True,
 
 
 def fxlms_block_batch(states, taps, d, mu, normalized=True, leak=0.0,
-                      adapt=None, active=None, context="SessionServer"):
+                      adapt=None, active=None, context="SessionServer",
+                      workspace=None):
     """One lock-step FxLMS block across a *batch* of streaming states.
 
     The cross-session kernel behind :mod:`repro.serving`: per-session
@@ -226,6 +227,15 @@ def fxlms_block_batch(states, taps, d, mu, normalized=True, leak=0.0,
         Optional per-session boolean masks (default: all true) — the
         degradation controller's gates, applied *per row* so one
         degraded session freezes or mutes without touching the rest.
+    workspace:
+        Optional :class:`~.workspace.BatchWorkspace` scratch arena.
+        With one, the call performs zero array-data allocations — every
+        stack, intermediate, and mask is written in place — and the
+        returned ``(errors, diverged)`` are *views into the arena*,
+        valid until the next call on the same workspace.  Without one,
+        a throwaway arena of exactly this batch's geometry is built, so
+        both paths run the identical instruction sequence and arena
+        output is bit-identical to fresh-allocation output.
 
     Returns
     -------
@@ -247,26 +257,52 @@ def fxlms_block_batch(states, taps, d, mu, normalized=True, leak=0.0,
     :func:`fxlms_block` the usual vector-backend contract applies:
     ≤ 1e-10, not bit-identity (summation orders differ).
     """
+    from .workspace import BatchWorkspace
+
     S = len(states)
     st0 = states[0]
     B = d.shape[1]
     n_future, n_past, n_taps = st0.n_future, st0.n_past, st0.n_taps
     s_len = st0.secondary_true.size
 
-    adapt_mask = (np.ones(S, dtype=bool) if adapt is None
-                  else np.asarray(adapt, dtype=bool))
-    active_mask = (np.ones(S, dtype=bool) if active is None
-                   else np.asarray(active, dtype=bool))
-    mu_arr = np.broadcast_to(np.asarray(mu, dtype=np.float64), (S,))
+    ws = workspace
+    if ws is None:
+        ws = BatchWorkspace(S, B, n_future, n_past, s_len)
+    elif not ws.fits(S, B, n_future, n_past, s_len):
+        raise ValueError(
+            f"workspace sized for (S<={ws.max_sessions}, B={ws.block_size}, "
+            f"n_future={ws.n_future}, n_past={ws.n_past}, "
+            f"s_len={ws.s_len}) cannot serve a batch of "
+            f"(S={S}, B={B}, n_future={n_future}, n_past={n_past}, "
+            f"s_len={s_len})"
+        )
+
+    if adapt is None:
+        ws.adapt[:S] = True
+    else:
+        np.copyto(ws.adapt[:S], adapt)
+    if active is None:
+        ws.active[:S] = True
+    else:
+        np.copyto(ws.active[:S], active)
+    adapt_mask = ws.adapt[:S]
+    active_mask = ws.active[:S]
+    inactive = np.logical_not(active_mask, out=ws.inactive[:S])
+    noadapt = np.logical_not(adapt_mask, out=ws.noadapt[:S])
+    ws.mu[:S] = mu
+    mu_arr = ws.mu[:S]
 
     # Stacked, left-zero-padded reference segments: row s covers every
     # window of session s's block (same early-sample padding as the
     # single-session path).
-    L = (n_past - 1) + B + n_future
-    SEG = np.zeros((S, L))
-    SEGF = np.zeros((S, L))
-    S_REV = np.empty((S, s_len))
-    opad = np.zeros((S, B + s_len - 1))
+    L = ws.seg_len
+    SEG = ws.seg[:S]
+    SEGF = ws.segf[:S]
+    S_REV = ws.s_rev[:S]
+    opad = ws.opad[:S]
+    SEG.fill(0.0)
+    SEGF.fill(0.0)
+    opad.fill(0.0)
     for s, st in enumerate(states):
         lo0 = st.time - (n_past - 1)
         seg = st.x[max(lo0, 0): st.time + B + n_future]
@@ -280,30 +316,44 @@ def fxlms_block_batch(states, taps, d, mu, normalized=True, leak=0.0,
     W = sliding_window_view(SEG, n_taps, axis=1)    # (S, B, n_taps)
     Wf = sliding_window_view(SEGF, n_taps, axis=1)
     o_view = sliding_window_view(opad, s_len, axis=1)  # reads see writes
-    taps_fwd = np.ascontiguousarray(taps[:, ::-1])
+    taps_fwd = ws.taps_fwd[:S]
+    taps_fwd[:, :] = taps[:, ::-1]
 
+    steps = ws.steps[:S]
     if normalized:
-        powers = np.einsum("sbj,sbj->sb", Wf, Wf)
-        steps = mu_arr[:, None] / (powers + _EPS)
+        powers = np.einsum("sbj,sbj->sb", Wf, Wf, out=ws.powers[:S])
+        powers += _EPS
+        np.divide(mu_arr[:, None], powers, out=steps)
     else:
-        steps = np.broadcast_to(mu_arr[:, None], (S, B))
+        steps[:, :] = mu_arr[:, None]
 
-    errors = np.empty((S, B))
-    decay_row = np.where(adapt_mask, 1.0 - leak, 1.0)[:, None]
+    errors = ws.errors[:S]
+    ws.decay[:S, 0] = 1.0 - leak
+    np.copyto(ws.decay[:S, 0], 1.0, where=noadapt)
+    decay_row = ws.decay[:S]
+    y, e, coef, tmp_taps = ws.y[:S], ws.e[:S], ws.coef[:S], ws.tmp_taps[:S]
     with np.errstate(all="ignore"):
         for i in range(B):
-            y = np.einsum("sj,sj->s", W[:, i, :], taps_fwd)
-            opad[:, i + s_len - 1] = np.where(active_mask, y, 0.0)
-            e = d[:, i] + np.einsum("sj,sj->s", o_view[:, i, :], S_REV)
+            np.einsum("sj,sj->s", W[:, i, :], taps_fwd, out=y)
+            np.copyto(y, 0.0, where=inactive)
+            opad[:, i + s_len - 1] = y
+            np.einsum("sj,sj->s", o_view[:, i, :], S_REV, out=e)
+            e += d[:, i]
             errors[:, i] = e
-            coef = np.where(adapt_mask, steps[:, i] * e, 0.0)
+            np.multiply(steps[:, i], e, out=coef)
+            np.copyto(coef, 0.0, where=noadapt)
             if leak:
                 taps_fwd *= decay_row
-            taps_fwd -= coef[:, None] * Wf[:, i, :]
+            np.multiply(coef[:, None], Wf[:, i, :], out=tmp_taps)
+            taps_fwd -= tmp_taps
 
     taps[:, :] = taps_fwd[:, ::-1]
-    diverged = np.any(~np.isfinite(errors)
-                      | (np.abs(errors) > DIVERGENCE_LIMIT), axis=1)
+    bad = np.isfinite(errors, out=ws.bad[:S])
+    np.logical_not(bad, out=bad)
+    np.abs(errors, out=ws.powers[:S])              # steps done; reuse
+    np.greater(ws.powers[:S], DIVERGENCE_LIMIT, out=ws.bad2[:S])
+    np.logical_or(bad, ws.bad2[:S], out=bad)
+    diverged = np.any(bad, axis=1, out=ws.diverged[:S])
     for s, st in enumerate(states):
         st.y_recent[:] = opad[s, B - 1: B + s_len - 1][::-1]
         st.time += B
@@ -348,35 +398,46 @@ def lms_run(x, d, taps, window, mu, normalized=True, leak=0.0,
 
 
 def rls_run(x, d, taps, window, P, forgetting, context="RlsFilter"):
-    """Exponentially-weighted RLS; windows precomputed, recursion kept.
+    """Exponentially-weighted RLS with BLAS symmetric rank-1 updates.
 
     The O(M²) inverse-correlation recursion is inherently sequential;
-    the vector backend only removes the per-sample shift register by
-    working in forward order (``P`` conjugated by the flip permutation,
-    which leaves its identity initialization invariant).
+    the vector backend removes the per-sample shift register by working
+    in forward order (``P`` conjugated by the flip permutation, which
+    leaves its identity initialization invariant) and keeps ``P`` as a
+    **lower-triangular Fortran-ordered** operand for raw BLAS:
+
+    * ``dsymv`` for ``P·u`` (half the matvec flops of ``P @ u``),
+    * ``dsyr`` for the rank-1 downdate ``P -= Pu·Puᵀ/denom`` in place —
+      the update *is* symmetric (``gain·Puᵀ = Pu·Puᵀ/denom``), so the
+      explicit re-symmetrization the general-form loop needs per sample
+      collapses to one triangle mirror after the walk.
+
+    Contract vs :func:`loop.rls_run` unchanged: ≤ 1e-10 on
+    predictions/errors/taps/``P``.
     """
     T = x.size
     n = taps.size
     ext = np.concatenate([window[::-1], x])
     V = sliding_window_view(ext, n)[1:]
     taps_fwd = np.ascontiguousarray(taps[::-1])
-    P_fwd = np.ascontiguousarray(P[::-1, ::-1])
+    P_fwd = np.asfortranarray(P[::-1, ::-1])
+    lam = float(forgetting)
+    inv_lam = 1.0 / lam
     predictions = np.empty(T)
     errors = np.empty(T)
     guard_at = GUARD_INTERVAL
     with np.errstate(all="ignore"):
         for t in range(T):
             u = V[t]
-            y = np.dot(taps_fwd, u)
+            y = ddot(taps_fwd, u)
             e = d[t] - y
             predictions[t] = y
             errors[t] = e
-            Pu = P_fwd @ u
-            denom = forgetting + np.dot(u, Pu)
-            gain = Pu / denom
-            taps_fwd += gain * e
-            P_fwd = (P_fwd - np.outer(gain, Pu)) / forgetting
-            P_fwd = 0.5 * (P_fwd + P_fwd.T)
+            Pu = dsymv(1.0, P_fwd, u, lower=1)
+            denom = lam + ddot(u, Pu)
+            daxpy(Pu, taps_fwd, a=e / denom)
+            dsyr(-1.0 / denom, Pu, lower=1, a=P_fwd, overwrite_a=1)
+            P_fwd *= inv_lam
             if t + 1 == guard_at:
                 _guard_block(errors, guard_at - GUARD_INTERVAL, guard_at,
                              context)
@@ -384,7 +445,9 @@ def rls_run(x, d, taps, window, P, forgetting, context="RlsFilter"):
     _guard_block(errors, guard_at - GUARD_INTERVAL, T, context)
     taps[:] = taps_fwd[::-1]
     window[:] = ext[-n:][::-1]
-    P[:] = P_fwd[::-1, ::-1]
+    # Only the lower triangle was maintained; mirror it once.
+    P_full = np.tril(P_fwd) + np.tril(P_fwd, -1).T
+    P[:] = P_full[::-1, ::-1]
     return predictions, errors
 
 

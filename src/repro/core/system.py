@@ -24,6 +24,7 @@ from .. import obs
 from ..errors import ConfigurationError, LookaheadError
 from ..hardware.dsp_board import DspBoard, tms320c6713
 from ..hardware.transducers import TransducerResponse, cheap_transducer
+from ..utils import fastconv
 from ..utils.spectral import cancellation_spectrum_db
 from ..utils.validation import check_waveform
 from ..wireless.relay import IdealRelay
@@ -258,7 +259,8 @@ class MuteSystem:
         transducer = self.config.transducer
         if transducer is None:
             return ir.copy()
-        combined = np.convolve(ir, transducer.impulse_response)
+        combined = fastconv.fir_apply(ir, transducer.impulse_response,
+                                      mode="full")
         # The transducer FIR is linear-phase; its bulk delay is an
         # artifact of the FIR realization, not physics — remove it.
         d = transducer.group_delay_samples

@@ -33,6 +33,7 @@ from scipy import signal as sps
 
 from ..acoustics.propagation import fractional_delay_filter
 from ..errors import ConfigurationError
+from ..utils import fastconv
 from ..utils.validation import check_non_negative, check_positive, check_waveform
 
 __all__ = ["EarCanalCoupling"]
@@ -106,15 +107,15 @@ class EarCanalCoupling:
     def ambient_to_drum(self, ambient):
         """Ambient pressure at the error-mic point → at the drum."""
         ambient = check_waveform("ambient", ambient)
-        out = sps.fftconvolve(ambient, self._canal_fir)
+        out = fastconv.fir_apply(ambient, self._canal_fir, mode="full")
         d = (self._canal_fir.size - 1) // 2
         return out[d: d + ambient.size]
 
     def speaker_to_drum(self, anti_noise):
         """Anti-noise at the error-mic point → at the drum (mismatched)."""
         anti_noise = check_waveform("anti_noise", anti_noise)
-        through_mismatch = np.convolve(anti_noise, self._mismatch_fir) \
-            [: anti_noise.size]
+        through_mismatch = fastconv.fir_apply(anti_noise, self._mismatch_fir,
+                                              mode="same")
         return self.ambient_to_drum(through_mismatch)
 
     def drum_pressure(self, ambient, anti_noise):

@@ -14,6 +14,7 @@ import numpy as np
 from scipy import signal as sps
 
 from ..errors import ConfigurationError
+from ..utils import fastconv
 from ..utils.validation import check_positive, check_waveform
 
 __all__ = ["PassiveEarcup", "bose_qc35_earcup", "no_earcup"]
@@ -68,7 +69,7 @@ class PassiveEarcup:
     def apply(self, signal):
         """Attenuate a waveform as heard under the earcup (time-aligned)."""
         signal = check_waveform("signal", signal)
-        filtered = sps.fftconvolve(signal, self._fir)
+        filtered = fastconv.fir_apply(signal, self._fir, mode="full")
         d = (self.n_taps - 1) // 2
         return filtered[d: d + signal.size]
 

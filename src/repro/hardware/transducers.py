@@ -18,6 +18,7 @@ import numpy as np
 from scipy import signal as sps
 
 from ..errors import ConfigurationError
+from ..utils import fastconv
 from ..utils.validation import check_positive, check_waveform
 
 __all__ = ["TransducerResponse", "cheap_transducer", "flat_transducer"]
@@ -108,7 +109,7 @@ class TransducerResponse:
         charged to the speaker-delay term of the Eq. 3 budget instead).
         """
         signal = check_waveform("signal", signal)
-        filtered = sps.fftconvolve(signal, self._fir)
+        filtered = fastconv.fir_apply(signal, self._fir, mode="full")
         d = self.group_delay_samples
         return filtered[d: d + signal.size]
 

@@ -76,8 +76,7 @@ def checkpoint_payload(session):
     controller = session.controller
     monitor = controller.monitor
     snapshot_taps = controller._snapshot
-    residuals = (np.concatenate(session._residuals)
-                 if session._residuals else np.zeros(0))
+    residuals = session.banked_residual().copy()
     meta = {
         "schema": CHECKPOINT_SCHEMA,
         "session_id": int(session.session_id),

@@ -201,6 +201,16 @@ class SessionServer:
         self.supervisor = (
             SessionSupervisor(self.config.supervision)
             if self.config.supervision is not None else None)
+        # Preallocated kernel scratch arena: every per-tick stack
+        # (taps, disturbance, segments, intermediates) is written in
+        # place instead of freshly allocated, so the steady-state block
+        # loop performs zero per-tick array-data allocations (asserted
+        # via tracemalloc in tests/test_serving.py).  Serial mode runs
+        # singleton batches through the same arena.
+        sess = self.config.session
+        self._workspace = kernels.BatchWorkspace(
+            self.config.max_sessions, self.config.block_size,
+            sess.n_future, sess.n_past, len(sess.secondary_path))
         self._budget_s = (
             self.config.deadline.resolved_budget_s(self.config.session)
             if self.config.deadline is not None else None)
@@ -265,12 +275,26 @@ class SessionServer:
             return
         batch = [p[0] for p in prepped]
         S = len(batch)
-        adapt = np.array([g[0] for __, g in prepped], dtype=bool)
-        act = np.array([g[1] for __, g in prepped], dtype=bool)
-        taps = np.stack([session.filter.taps for session in batch])
-        d = np.stack([session.next_block()[1] for session in batch])
-        mu = np.array([session.filter.mu for session in batch])
+        adapt = [g[0] for __, g in prepped]
+        act = [g[1] for __, g in prepped]
         states = [session.state for session in batch]
+        st0 = states[0]
+        ws = self._workspace
+        if not ws.fits(S, self.config.block_size, st0.n_future, st0.n_past,
+                       st0.secondary_true.size):   # pragma: no cover
+            ws = None                              # heterogeneous override
+        if ws is not None:
+            taps = ws.taps_io[:S]
+            d = ws.d[:S]
+            mu = ws.mu[:S]
+            for i, session in enumerate(batch):
+                taps[i] = session.filter.taps
+                d[i] = session.next_block()[1]
+                mu[i] = session.filter.mu
+        else:   # pragma: no cover - only reachable with a foreign config
+            taps = np.stack([session.filter.taps for session in batch])
+            d = np.stack([session.next_block()[1] for session in batch])
+            mu = np.array([session.filter.mu for session in batch])
 
         started = time.perf_counter()
         errors, diverged = kernels.fxlms_block_batch(
@@ -278,6 +302,7 @@ class SessionServer:
             normalized=self.config.session.normalized,
             leak=self.config.session.leak,
             adapt=adapt, active=act,
+            workspace=ws,
         )
         elapsed = time.perf_counter() - started
         self.latencies_s.append(elapsed)

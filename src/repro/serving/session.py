@@ -221,7 +221,11 @@ class DeviceSession:
         self.state.extend(np.concatenate(
             [self.reference, np.zeros(config.n_future)]))
         self.block_index = 0
-        self._residuals = []
+        # Residual bank, preallocated to the whole workload span: blocks
+        # are written in place (no per-tick list append + copy), and the
+        # batched kernel may hand `record_block` views into a reused
+        # scratch arena, so the bank must own its bytes.
+        self._residual = np.zeros(span)
         # Resilience attachments, wired by the server at admission:
         # a chaos injector (repro.chaos) carrying this session's
         # scheduled crash/stall events, and a deadline circuit breaker
@@ -263,11 +267,21 @@ class DeviceSession:
         return self.controller.gates(mode)
 
     def record_block(self, errors):
-        """Bank one processed block of residual and advance the cursor."""
-        self._residuals.append(np.asarray(errors, dtype=np.float64))
+        """Bank one processed block of residual and advance the cursor.
+
+        ``errors`` may be a borrowed view into the server's kernel
+        arena; the slice assignment copies it into the session-owned
+        bank before the arena is reused next tick.
+        """
+        lo = self.block_index * self.block_size
+        self._residual[lo: lo + self.block_size] = errors
         self.block_index += 1
         if self.done and self.status == ACTIVE:
             self.status = DONE
+
+    def banked_residual(self):
+        """View of the residual banked so far (read-only by convention)."""
+        return self._residual[: self.block_index * self.block_size]
 
     def fail(self, reason):
         """Isolate the session after divergence; the batch moves on."""
@@ -276,8 +290,7 @@ class DeviceSession:
 
     def result(self):
         """The session's :class:`SessionResult` (any status)."""
-        residual = (np.concatenate(self._residuals) if self._residuals
-                    else np.zeros(0))
+        residual = self.banked_residual().copy()
         return SessionResult(
             session_id=self.session_id,
             name=self.workload.name,
@@ -355,4 +368,5 @@ class DeviceSession:
         self.status = meta["status"]
         self.error = meta["error"]
         residuals = np.asarray(arrays["residuals"], dtype=np.float64)
-        self._residuals = [residuals.copy()] if residuals.size else []
+        self._residual[: residuals.size] = residuals
+        self._residual[residuals.size:] = 0.0

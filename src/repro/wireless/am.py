@@ -12,6 +12,7 @@ import numpy as np
 from scipy import signal as sps
 
 from ..errors import ConfigurationError
+from ..utils import fastpath
 from ..utils.validation import check_in_range, check_positive, check_waveform
 from .fm import resample
 
@@ -42,9 +43,20 @@ class AmModulator:
         peak = np.max(np.abs(audio))
         normalized = audio / peak if peak > 0 else audio
         rf_audio = resample(normalized, self.audio_rate, self.rf_rate)
-        rf_audio = np.clip(rf_audio, -1.0, 1.0)
-        envelope = 1.0 + self.modulation_index * rf_audio
-        return (self.amplitude * envelope).astype(np.complex128)
+        if not fastpath.enabled():
+            rf_audio = np.clip(rf_audio, -1.0, 1.0)
+            envelope = 1.0 + self.modulation_index * rf_audio
+            return (self.amplitude * envelope).astype(np.complex128)
+        # Envelope built in place on the full-rate buffer we own; the
+        # complex cast is the only remaining full-rate copy (the output
+        # itself).
+        np.clip(rf_audio, -1.0, 1.0, out=rf_audio)
+        rf_audio *= self.modulation_index
+        rf_audio += 1.0
+        rf_audio *= self.amplitude
+        out = np.zeros(rf_audio.size, dtype=np.complex128)
+        out.real = rf_audio
+        return out
 
 
 class AmDemodulator:
@@ -67,7 +79,13 @@ class AmDemodulator:
         baseband = check_waveform("baseband", baseband, min_length=2,
                                   allow_complex=True)
         envelope = np.abs(baseband)
-        envelope = envelope - np.mean(envelope)
+        if not fastpath.enabled():
+            envelope = envelope - np.mean(envelope)
+            envelope = sps.sosfiltfilt(self._sos, envelope)
+            audio = resample(envelope, self.rf_rate, self.audio_rate)
+            return audio / self.modulation_index
+        envelope -= np.mean(envelope)
         envelope = sps.sosfiltfilt(self._sos, envelope)
         audio = resample(envelope, self.rf_rate, self.audio_rate)
-        return audio / self.modulation_index
+        audio /= self.modulation_index
+        return audio

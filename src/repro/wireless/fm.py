@@ -14,32 +14,92 @@ constant DC offset the paper says FM renders harmless.
 
 Audio at ``audio_rate`` is upsampled to ``rf_rate`` for modulation and
 decimated back after demodulation.
+
+Perf note: :func:`resample` is the relay chain's hot edge — the 12x
+oversampled mod/demod path crosses it four times per relay hop.  The
+fast path caches the polyphase (Kaiser) design per reduced ``(up,
+down)`` pair, reproducing scipy's default design **bit-identically**,
+and the rate pair itself is reduced with :class:`fractions.Fraction`,
+so exact rational (including non-integer) rate pairs work.  The
+modulator/demodulator avoid full-rate intermediate copies by running
+their arithmetic in place on buffers they own.  All of it is gated on
+:mod:`repro.utils.fastpath`.
 """
 
 from __future__ import annotations
+
+import math
+from fractions import Fraction
 
 import numpy as np
 from scipy import signal as sps
 
 from ..errors import ConfigurationError
+from ..utils import fastpath
 from ..utils.validation import check_positive, check_waveform
 
-__all__ = ["FmModulator", "FmDemodulator", "resample"]
+__all__ = ["FmModulator", "FmDemodulator", "resample", "rational_ratio"]
+
+#: Largest denominator accepted when snapping a rate ratio to an exact
+#: rational — generous for audio/RF pairs, small enough to reject
+#: genuinely irrational ratios.
+MAX_RATIO_DENOMINATOR = 1 << 20
+
+#: Cached polyphase designs, keyed by the reduced ``(up, down)`` pair.
+_design_cache = {}
+
+
+def rational_ratio(rate_in, rate_out):
+    """Reduce ``rate_out / rate_in`` to an exact ``(up, down)`` pair.
+
+    Both rates are taken as exact binary floats; their ratio is snapped
+    to the nearest rational with denominator ≤
+    :data:`MAX_RATIO_DENOMINATOR` and verified to reproduce ``rate_out``
+    from ``rate_in`` exactly (to 1 part in 1e12).  Integer pairs reduce
+    by their gcd — ``(44100, 8000) → (80, 441)`` — and exact non-integer
+    pairs like ``(4000.5, 8001)`` work too.
+    """
+    ratio = Fraction(float(rate_out)) / Fraction(float(rate_in))
+    ratio = ratio.limit_denominator(MAX_RATIO_DENOMINATOR)
+    if not math.isclose(float(ratio) * rate_in, rate_out, rel_tol=1e-12):
+        raise ConfigurationError(
+            f"resample needs an exact rational rate ratio; "
+            f"{rate_out}/{rate_in} is not one (within denominator "
+            f"{MAX_RATIO_DENOMINATOR})"
+        )
+    return ratio.numerator, ratio.denominator
+
+
+def _polyphase_design(up, down):
+    """scipy's default ``resample_poly`` Kaiser window for ``(up, down)``.
+
+    Reproduces the design ``resample_poly`` would build internally —
+    passing it back via ``window=`` is bit-identical to the default
+    path (scipy copies and scales it by ``up`` itself) — but built
+    once and cached, instead of redesigned on every call.
+    """
+    key = (up, down)
+    window = _design_cache.get(key)
+    if window is None:
+        max_rate = max(up, down)
+        half_len = 10 * max_rate
+        window = sps.firwin(2 * half_len + 1, 1.0 / max_rate,
+                            window=("kaiser", 5.0))
+        _design_cache[key] = window
+    return window
 
 
 def resample(signal, rate_in, rate_out):
-    """Polyphase resampling between integer-ratio rates."""
+    """Polyphase resampling between exact-rational-ratio rates."""
     rate_in = check_positive("rate_in", rate_in)
     rate_out = check_positive("rate_out", rate_out)
     if rate_in == rate_out:
         return np.asarray(signal, dtype=np.float64).copy()
-    from math import gcd
-
-    ri, ro = int(round(rate_in)), int(round(rate_out))
-    if abs(rate_in - ri) > 1e-6 or abs(rate_out - ro) > 1e-6:
-        raise ConfigurationError("resample requires near-integer rates")
-    g = gcd(ri, ro)
-    return sps.resample_poly(signal, ro // g, ri // g)
+    up, down = rational_ratio(rate_in, rate_out)
+    if not fastpath.enabled():
+        return sps.resample_poly(signal, up, down)
+    return sps.resample_poly(signal, up, down,
+                             window=_polyphase_design(up, down))
 
 
 class FmModulator:
@@ -79,11 +139,22 @@ class FmModulator:
         """Modulate an audio waveform to complex baseband."""
         audio = check_waveform("audio", audio)
         rf_audio = resample(audio, self.audio_rate, self.rf_rate)
-        phase = (
-            2.0 * np.pi * self.deviation_hz
-            * np.cumsum(rf_audio) / self.rf_rate
-        )
-        return self.amplitude * np.exp(1j * phase)
+        if not fastpath.enabled():
+            phase = (
+                2.0 * np.pi * self.deviation_hz
+                * np.cumsum(rf_audio) / self.rf_rate
+            )
+            return self.amplitude * np.exp(1j * phase)
+        # In place on the full-rate buffer we own: cumsum → phase →
+        # cos/sin straight into the complex output's views.
+        np.cumsum(rf_audio, out=rf_audio)
+        rf_audio *= 2.0 * np.pi * self.deviation_hz / self.rf_rate
+        out = np.empty(rf_audio.size, dtype=np.complex128)
+        np.cos(rf_audio, out=out.real)
+        np.sin(rf_audio, out=out.imag)
+        if self.amplitude != 1.0:
+            out *= self.amplitude
+        return out
 
 
 class FmDemodulator:
@@ -110,16 +181,30 @@ class FmDemodulator:
         """Recover the audio waveform from complex baseband."""
         baseband = check_waveform("baseband", baseband, min_length=2,
                                   allow_complex=True)
-        # Phase difference between consecutive samples → instantaneous freq.
-        product = baseband[1:] * np.conj(baseband[:-1])
-        inst_freq = np.angle(product) * self.rf_rate / (2.0 * np.pi)
-        inst_freq = np.concatenate([[inst_freq[0]], inst_freq])
-        audio_rf = inst_freq / self.deviation_hz
+        if not fastpath.enabled():
+            product = baseband[1:] * np.conj(baseband[:-1])
+            inst_freq = np.angle(product) * self.rf_rate / (2.0 * np.pi)
+            inst_freq = np.concatenate([[inst_freq[0]], inst_freq])
+            audio_rf = inst_freq / self.deviation_hz
+            audio_rf = sps.sosfiltfilt(self._sos, audio_rf)
+            audio = resample(audio_rf, self.rf_rate, self.audio_rate)
+            if self.remove_dc:
+                audio = audio - np.mean(audio)
+            return audio
+        # Phase difference between consecutive samples → instantaneous
+        # frequency, with one owned complex scratch instead of the
+        # conj/product/angle/concatenate temporary chain.
+        product = np.conjugate(baseband[:-1])
+        product *= baseband[1:]
+        audio_rf = np.empty(baseband.size)
+        np.arctan2(product.imag, product.real, out=audio_rf[1:])
+        audio_rf[0] = audio_rf[1]
+        audio_rf *= self.rf_rate / (2.0 * np.pi * self.deviation_hz)
         # Zero-phase filtering: the analog chain's fixed group delay
         # (~0.15 ms) is accounted in the relay's latency budget, so the
         # simulation removes it here rather than re-aligning downstream.
         audio_rf = sps.sosfiltfilt(self._sos, audio_rf)
         audio = resample(audio_rf, self.rf_rate, self.audio_rate)
         if self.remove_dc:
-            audio = audio - np.mean(audio)
+            audio -= np.mean(audio)
         return audio

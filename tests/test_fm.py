@@ -2,11 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.signals import Tone, WhiteNoise
 from repro.utils.units import snr_db
 from repro.wireless import FmDemodulator, FmModulator, resample
+from repro.wireless.fm import rational_ratio
 
 
 def _roundtrip_snr(audio, **kwargs):
@@ -35,9 +38,30 @@ class TestResample:
         assert snr_db(x[margin:-margin],
                       back[margin: x.size - margin] - x[margin:-margin]) > 40
 
-    def test_rejects_non_integer_rates(self):
+    def test_exact_rational_non_integer_rates_work(self):
+        # 8000.5 -> 96000 is the exact rational 192000/16001; the
+        # Fraction-based reduction must accept it (it used to raise).
+        up, down = rational_ratio(8000.5, 96000)
+        assert (up, down) == (192000, 16001)
+        out = resample(np.zeros(16001), 8000.5, 96000)
+        assert out.size == 192000
+
+    def test_rejects_irrational_rate_ratio(self):
         with pytest.raises(ConfigurationError):
-            resample(np.zeros(10), 8000.5, 96000)
+            resample(np.zeros(10), 8000.0, 8000.0 * np.sqrt(2.0))
+
+    def test_integer_pair_reduces_by_gcd(self):
+        assert rational_ratio(8000, 96000) == (12, 1)
+        assert rational_ratio(44100, 8000) == (80, 441)
+
+    def test_cached_window_bit_identical_to_default(self):
+        x = WhiteNoise(seed=3, level_rms=0.3).generate(0.25)
+        from repro.utils import fastpath
+        with fastpath.scope(False):
+            slow = resample(x, 8000, 96000)
+        with fastpath.scope(True):
+            fast = resample(x, 8000, 96000)
+        np.testing.assert_array_equal(slow, fast)
 
 
 class TestFmModulator:
@@ -91,3 +115,49 @@ class TestRoundTrip:
         out = dem.demodulate(bb * np.exp(2j * np.pi * 3000.0 * t))
         # CFO of 3 kHz over a 12 kHz deviation → DC offset of 0.25.
         assert np.mean(out[400:-400]) == pytest.approx(0.25, abs=0.02)
+
+
+class TestFastSlowEquivalence:
+    """The in-place mod/demod fast paths vs the verbatim slow paths.
+
+    Each modulator/demodulator keeps its pre-overhaul arithmetic behind
+    ``fastpath.scope(False)`` (docs/PERFORMANCE.md); the in-place
+    formulations must agree to the library-wide 1e-10 envelope.
+    """
+
+    TOL = 1e-10
+
+    def _noise(self, seed):
+        return WhiteNoise(seed=seed, level_rms=0.2).generate(0.25)
+
+    def _both(self, fn):
+        from repro.utils import fastpath
+        with fastpath.scope(False):
+            slow = fn()
+        with fastpath.scope(True):
+            fast = fn()
+        return slow, fast
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_fm_roundtrip(self, seed):
+        audio = self._noise(seed)
+        mod, dem = FmModulator(), FmDemodulator()
+        slow, fast = self._both(lambda: dem.demodulate(mod.modulate(audio)))
+        np.testing.assert_allclose(fast, slow, atol=self.TOL, rtol=0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_fm_modulate(self, seed):
+        mod = FmModulator(amplitude=0.7)
+        slow, fast = self._both(lambda: mod.modulate(self._noise(seed)))
+        np.testing.assert_allclose(fast, slow, atol=self.TOL, rtol=0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_am_roundtrip(self, seed):
+        from repro.wireless import AmDemodulator, AmModulator
+        audio = self._noise(seed)
+        mod, dem = AmModulator(), AmDemodulator()
+        slow, fast = self._both(lambda: dem.demodulate(mod.modulate(audio)))
+        np.testing.assert_allclose(fast, slow, atol=self.TOL, rtol=0)

@@ -146,6 +146,105 @@ class TestBatchKernelContract:
             kernels.fxlms_block_batch([starved], good_taps, good_d, mu)
 
 
+class TestBatchWorkspace:
+    """The preallocated kernel arena: bit-identity + zero-alloc ticks."""
+
+    def _run_blocks(self, config, workspace, seed):
+        """Drive fxlms_block_batch over 3 sessions; returns (errors, taps)."""
+        n_taps = config.n_future + config.n_past
+        built = []
+        for workload in _workloads(3, seed=seed):
+            span = (workload.reference.size // BLOCK) * BLOCK
+            state = kernels.KernelState.streaming(
+                config.n_future, config.n_past, config.secondary())
+            state.extend(np.concatenate(
+                [workload.reference[:span], np.zeros(config.n_future)]))
+            built.append((workload.disturbance[:span], state))
+        taps = np.zeros((3, n_taps))
+        mu = np.full(3, config.mu)
+        collected = []
+        n_blocks = built[0][0].size // BLOCK
+        for b in range(n_blocks):
+            d = np.stack([d_sig[b * BLOCK:(b + 1) * BLOCK]
+                          for d_sig, __ in built])
+            errors, diverged = kernels.fxlms_block_batch(
+                [state for __, state in built], taps, d, mu,
+                workspace=workspace)
+            assert not diverged.any()
+            # Arena-backed results are borrowed views — copy before the
+            # next call reuses the buffers.
+            collected.append(np.array(errors, copy=True))
+        return np.concatenate(collected, axis=1), taps
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_arena_bit_identical_to_fresh_allocation(self, seed):
+        """Explicit workspace vs workspace=None: identical bits.
+
+        The arena changes where results live, never what they are — the
+        kernel runs the same instruction sequence over arena views and
+        fresh arrays (the contract in repro.core.adaptive.kernels
+        .workspace).  max_sessions > batch size also exercises the
+        leading-axis capacity slicing.
+        """
+        config = serving.SessionConfig()
+        ws = kernels.BatchWorkspace(
+            8, BLOCK, config.n_future, config.n_past,
+            config.secondary().size)
+        arena_errors, arena_taps = self._run_blocks(config, ws, seed)
+        fresh_errors, fresh_taps = self._run_blocks(config, None, seed)
+        np.testing.assert_array_equal(arena_errors, fresh_errors)
+        np.testing.assert_array_equal(arena_taps, fresh_taps)
+
+    def test_mismatched_geometry_rejected(self):
+        config = serving.SessionConfig()
+        wrong_block = kernels.BatchWorkspace(
+            8, BLOCK * 2, config.n_future, config.n_past,
+            config.secondary().size)
+        assert not wrong_block.fits(1, BLOCK, config.n_future,
+                                    config.n_past, config.secondary().size)
+        with pytest.raises(ValueError):
+            self._run_blocks(config, wrong_block, seed=0)
+
+    def test_workspace_validates_construction(self):
+        with pytest.raises(ConfigurationError):
+            kernels.BatchWorkspace(0, BLOCK, 64, 512, 8)
+        with pytest.raises(ConfigurationError):
+            kernels.BatchWorkspace(8, BLOCK, 64, 0, 8)
+
+    def test_nbytes_reports_arena_size(self):
+        ws = kernels.BatchWorkspace(8, BLOCK, 64, 512, 8)
+        assert ws.nbytes >= ws.seg.nbytes + ws.errors.nbytes
+        assert ws.seg_len == (512 - 1) + BLOCK + 64
+
+    def test_steady_state_ticks_allocate_nothing(self):
+        """The issue's acceptance gate: zero per-tick array allocations.
+
+        After warmup (admission, caches, the arena itself) the batched
+        block loop must run out of the preallocated workspace — a few
+        KB of Python-object churn per tick is tolerated, fresh (S, L)
+        scratch stacks (tens of KB each) are not.
+        """
+        import tracemalloc
+
+        server = serving.SessionServer(serving.ServerConfig(
+            batched=True, block_size=BLOCK, max_sessions=8))
+        for workload in _workloads(8, duration_s=2.0):
+            server.submit(workload)
+        for __ in range(4):                 # warm: admission + caches
+            assert server.tick()
+        tracemalloc.start()
+        try:
+            for __ in range(8):
+                assert server.tick()
+            __, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        per_tick = peak / 8
+        assert per_tick < 16_384, \
+            f"steady-state tick allocates {per_tick / 1024:.1f} KiB"
+
+
 class TestAdmission:
     def test_reject_policy_raises(self):
         manager = serving.SessionManager(max_sessions=1, queue_depth=2)
